@@ -1,0 +1,295 @@
+// Benchmarks: one per table and figure of the paper's evaluation (scaled
+// parameterizations so `go test -bench=. -benchmem` completes on a laptop)
+// plus the ablation benches called out in DESIGN.md. Each benchmark runs
+// the same driver the CLI uses; the reported ns/op is the cost of
+// regenerating that experiment once.
+package dctopo_test
+
+import (
+	"math"
+	"testing"
+
+	"dctopo/estimators"
+	"dctopo/expt"
+	"dctopo/internal/match"
+	"dctopo/mcf"
+	"dctopo/topo"
+	"dctopo/tub"
+)
+
+func benchTopology(b *testing.B, n, r, h int) *topo.Topology {
+	b.Helper()
+	t, err := topo.Jellyfish(topo.JellyfishConfig{Switches: n, Radix: r, Servers: h, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
+// --- one bench per paper table/figure ---
+
+func BenchmarkFig3ThroughputGap(b *testing.B) {
+	p := expt.Fig3Params{
+		Family: expt.FamilyJellyfish, Radix: 10, Servers: []int{4},
+		Switches: []int{24, 54}, K: 8, Seed: 1,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunFig3(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4PathDiversity(b *testing.B) {
+	p := expt.Fig4Params{Radix: 10, Servers: 4, Switches: []int{24, 54}, K: 8, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunFig4(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5EstimatorComparison(b *testing.B) {
+	p := expt.Fig5Params{Radix: 10, Servers: 4, Switches: []int{24, 54}, K: 8, Seed: 1, WithReference: true}
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunFig5(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7WorkedExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := expt.RunFig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if math.Abs(r.UniTheta-5.0/6.0) > 1e-7 {
+			b.Fatalf("theta = %v", r.UniTheta)
+		}
+	}
+}
+
+func BenchmarkFig8Frontier(b *testing.B) {
+	p := expt.Fig8Params{
+		Family: expt.FamilyJellyfish, Radix: 16, Servers: []int{4, 5},
+		MinSwitches: 16, MaxSwitches: 120, Seed: 1,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunFig8(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9Cost(b *testing.B) {
+	p := expt.Fig9Params{Servers: 512, Radix: 16, MinH: 2, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunFig9(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10Failures(b *testing.B) {
+	p := expt.Fig10Params{
+		Family: expt.FamilyJellyfish, Radix: 16, Servers: 4,
+		SizeList: []int{512}, Fractions: []float64{0.1, 0.2}, Seed: 1,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunFig10(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3ScalingLimits(b *testing.B) {
+	p := expt.Table3Params{
+		Radix: 32, Servers: []int{8, 7}, MaxN: 1 << 30,
+		BBWProbeSwitches: []int{64}, Seed: 1,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunTable3(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5Oversubscription(b *testing.B) {
+	p := expt.Table5Params{
+		Servers: 512, Radix: 16, Seed: 1,
+		PerSw: map[expt.Family]int{expt.FamilyJellyfish: 4, expt.FamilyXpander: 4, expt.FamilyFatClique: 4},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunTable5(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableA1ClosTUB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := expt.RunTableA1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if math.Abs(row.TUB-1) > 1e-9 {
+				b.Fatalf("Clos TUB = %v", row.TUB)
+			}
+		}
+	}
+}
+
+func BenchmarkFigA1TheoreticalGap(b *testing.B) {
+	p := expt.FigA1Params{Radix: 16, Servers: 4, Switches: []int{64, 256}, Slack: 1, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunFigA1(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigA2SameEquipment(b *testing.B) {
+	p := expt.FigA2Params{FatTreeK: []int{8}, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunFigA2(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigA4Expansion(b *testing.B) {
+	p := expt.FigA4Params{Radix: 16, Servers: []int{4}, InitN: 128, MaxRatio: 1.6, Step: 0.2, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunFigA4(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigA5KSweep(b *testing.B) {
+	p := expt.FigA5Params{Radix: 10, Servers: 4, Switches: []int{24}, KList: []int{2, 8}, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunFigA5(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benches (DESIGN.md §Key design decisions) ---
+
+// BenchmarkAblationMatching compares the three maximal-permutation
+// matchers on the same instance; DESIGN.md ablation 2.
+func BenchmarkAblationMatching(b *testing.B) {
+	t := benchTopology(b, 300, 14, 7)
+	for _, tc := range []struct {
+		name string
+		m    tub.Matcher
+	}{
+		{"exact", tub.ExactMatcher},
+		{"auction", tub.AuctionMatcher},
+		{"greedy", tub.GreedyMatcher},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tub.Bound(t, tub.Options{Matcher: tc.m}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMCF compares the exact simplex backend with the
+// Garg–Könemann FPTAS on the same instance; DESIGN.md ablation 3.
+func BenchmarkAblationMCF(b *testing.B) {
+	t := benchTopology(b, 40, 10, 5)
+	ub, err := tub.Bound(t, tub.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm, err := ub.Matrix(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	paths := mcf.KShortest(t, tm, 8)
+	for _, tc := range []struct {
+		name string
+		opt  mcf.Options
+	}{
+		{"simplex", mcf.Options{Method: mcf.Exact}},
+		{"gk-eps02", mcf.Options{Method: mcf.Approx, Eps: 0.02}},
+		{"gk-eps10", mcf.Options{Method: mcf.Approx, Eps: 0.10}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mcf.Throughput(t, tm, paths, tc.opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationServerLevel compares the switch-level TUB computation
+// against the naive server-level formulation (one matching node per
+// server); DESIGN.md ablation 1 — the bound is identical but the
+// switch-level computation does ~H² less matching work (§2.2).
+func BenchmarkAblationServerLevel(b *testing.B) {
+	t := benchTopology(b, 30, 10, 5)
+	dist, err := tub.HostDistances(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := 5
+	nSw := len(t.Hosts())
+	nSrv := nSw * h
+
+	b.Run("switch-level", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := match.Exact(nSw, func(x, y int) int64 {
+				return int64(dist[x][y]) * int64(h)
+			})
+			_ = res.Total
+		}
+	})
+	b.Run("server-level", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := match.Exact(nSrv, func(x, y int) int64 {
+				return int64(dist[x/h][y/h])
+			})
+			_ = res.Total
+		}
+	})
+}
+
+// BenchmarkAblationBisectionTries measures the cut-quality/runtime
+// tradeoff of the initial-partition count in the multilevel bisection.
+func BenchmarkAblationBisectionTries(b *testing.B) {
+	t := benchTopology(b, 400, 14, 7)
+	for i := 0; i < b.N; i++ {
+		_ = estimators.Bisection(t, uint64(i))
+	}
+}
+
+// TestServerLevelEqualsSwitchLevelTUB verifies DESIGN.md ablation 1's
+// correctness claim (the §2.2 argument): the server-level maximal
+// permutation yields the same bound value.
+func TestServerLevelEqualsSwitchLevelTUB(t *testing.T) {
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 16, Radix: 8, Servers: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := tub.HostDistances(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := 3
+	nSw := len(top.Hosts())
+	sw := match.Exact(nSw, func(x, y int) int64 { return int64(dist[x][y]) * int64(h) })
+	srv := match.Exact(nSw*h, func(x, y int) int64 { return int64(dist[x/h][y/h]) })
+	if sw.Total != srv.Total {
+		t.Fatalf("switch-level total %d != server-level total %d", sw.Total, srv.Total)
+	}
+}

@@ -1,0 +1,474 @@
+// Command topobench generates datacenter topologies, evaluates every
+// capacity metric implemented in this repository (TUB, KSP-MCF throughput,
+// bisection bandwidth, sparsest cut, the Singla bound, Hoefler's and
+// Jain's methods), and re-runs the paper's tables and figures.
+//
+// Usage:
+//
+//	topobench gen     -family jellyfish -switches 128 -radix 16 -servers 8
+//	topobench tub     -family xpander   -switches 512 -radix 32 -servers 10
+//	topobench metrics -family jellyfish -switches 128 -radix 16 -servers 8
+//	topobench mcf     -family jellyfish -switches 64  -radix 10 -servers 4 -k 16
+//	topobench expt    fig3|fig4|fig5|fig7|fig8|fig9|fig10|tab3|tab5|tabA1|figA1|figA2|figA4|figA5|routing|wedge
+//	topobench report  [-markdown] [-heavy] > EXPERIMENTS.out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dctopo/design"
+	"dctopo/estimators"
+	"dctopo/expt"
+	"dctopo/mcf"
+	"dctopo/topo"
+	"dctopo/tub"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "tub":
+		err = cmdTub(os.Args[2:])
+	case "metrics":
+		err = cmdMetrics(os.Args[2:])
+	case "mcf":
+		err = cmdMCF(os.Args[2:])
+	case "expt":
+		err = cmdExpt(os.Args[2:])
+	case "design":
+		err = cmdDesign(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "topobench: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topobench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `topobench <command> [flags]
+
+commands:
+  gen      generate a topology and print its summary
+  tub      compute the throughput upper bound (Theorem 2.2)
+  metrics  compute every capacity metric on one topology
+  mcf      route the maximal permutation with KSP-MCF and report θ
+  expt     run one paper experiment by id (fig3..figA5, tab3, tab5, tabA1, routing, wedge)
+  design   size a full-throughput fabric and plan expansions (§5-§6 design aid)
+  report   run the full experiment suite (use -heavy for paper-scale runs)`)
+}
+
+// topoFlags registers the shared topology-construction flags.
+type topoFlags struct {
+	family   string
+	switches int
+	radix    int
+	servers  int
+	seed     uint64
+}
+
+func (tf *topoFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&tf.family, "family", "jellyfish", "jellyfish | xpander | fatclique | clos | fattree")
+	fs.IntVar(&tf.switches, "switches", 64, "approximate switch count (uni-regular families)")
+	fs.IntVar(&tf.radix, "radix", 16, "switch radix R")
+	fs.IntVar(&tf.servers, "servers", 8, "servers per switch H (uni-regular) ")
+	fs.Uint64Var(&tf.seed, "seed", 1, "RNG seed")
+}
+
+func (tf *topoFlags) build() (*topo.Topology, error) {
+	switch tf.family {
+	case "jellyfish", "xpander", "fatclique":
+		return expt.Build(expt.Family(tf.family), tf.switches, tf.radix, tf.servers, tf.seed)
+	case "fattree":
+		return topo.FatTree(tf.radix)
+	case "clos":
+		return topo.Clos(topo.ClosConfig{Radix: tf.radix, Layers: 3})
+	}
+	return nil, fmt.Errorf("unknown family %q", tf.family)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var tf topoFlags
+	tf.register(fs)
+	edges := fs.Bool("edges", false, "also print the switch-to-switch links")
+	out := fs.String("o", "", "write the topology to a file (.dot -> Graphviz, else text format)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, err := tf.build()
+	if err != nil {
+		return err
+	}
+	fmt.Println(t)
+	fmt.Printf("hosts=%d mean-servers-per-switch=%.2f uni-regular=%v bi-regular=%v\n",
+		len(t.Hosts()), t.MeanServersPerSwitch(), t.UniRegular(), t.BiRegular())
+	if *edges {
+		t.Graph().Edges(func(u, v, c int) {
+			fmt.Printf("%d %d %d\n", u, v, c)
+		})
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if strings.HasSuffix(*out, ".dot") {
+			err = t.WriteDOT(f)
+		} else {
+			err = t.WriteText(f)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println("wrote", *out)
+	}
+	return nil
+}
+
+func cmdTub(args []string) error {
+	fs := flag.NewFlagSet("tub", flag.ExitOnError)
+	var tf topoFlags
+	tf.register(fs)
+	matcher := fs.String("matcher", "auto", "auto | exact | auction | greedy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, err := tf.build()
+	if err != nil {
+		return err
+	}
+	var m tub.Matcher
+	switch *matcher {
+	case "auto":
+		m = tub.AutoMatcher
+	case "exact":
+		m = tub.ExactMatcher
+	case "auction":
+		m = tub.AuctionMatcher
+	case "greedy":
+		m = tub.GreedyMatcher
+	default:
+		return fmt.Errorf("unknown matcher %q", *matcher)
+	}
+	start := time.Now()
+	res, err := tub.Bound(t, tub.Options{Matcher: m})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\nTUB = %.6f   (2E=%d, sum min(H)·L = %d, %v)\n",
+		t, res.Bound, res.TwoE, res.WeightedLen, time.Since(start).Round(time.Millisecond))
+	if res.Bound >= 1 {
+		fmt.Println("verdict: may have full throughput (bound >= 1)")
+	} else {
+		fmt.Println("verdict: CANNOT have full throughput (bound < 1)")
+	}
+	return nil
+}
+
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	var tf topoFlags
+	tf.register(fs)
+	k := fs.Int("k", 8, "paths per pair for the flow heuristics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, err := tf.build()
+	if err != nil {
+		return err
+	}
+	fmt.Println(t)
+
+	timed := func(name string, fn func() (string, error)) {
+		start := time.Now()
+		out, err := fn()
+		el := time.Since(start).Round(time.Microsecond)
+		if err != nil {
+			fmt.Printf("%-16s error: %v\n", name, err)
+			return
+		}
+		fmt.Printf("%-16s %-24s %v\n", name, out, el)
+	}
+	var ub *tub.Result
+	timed("TUB", func() (string, error) {
+		var err error
+		ub, err = tub.Bound(t, tub.Options{})
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%.4f", ub.Bound), nil
+	})
+	timed("bisection", func() (string, error) {
+		b := estimators.Bisection(t, tf.seed)
+		return fmt.Sprintf("cut=%d theta=%.4f full=%v", b.Cut, b.Theta, b.Full), nil
+	})
+	timed("sparsest-cut", func() (string, error) {
+		sc, err := estimators.SparsestCut(t)
+		return fmt.Sprintf("%.4f", sc), err
+	})
+	timed("singla[43]", func() (string, error) {
+		s, err := estimators.Singla(t)
+		return fmt.Sprintf("%.4f", s), err
+	})
+	if ub == nil {
+		return nil
+	}
+	tm, err := ub.Matrix(t)
+	if err != nil {
+		return err
+	}
+	paths := mcf.KShortest(t, tm, *k)
+	timed("hoefler", func() (string, error) {
+		e, err := estimators.Hoefler(t, tm, paths)
+		return fmt.Sprintf("min=%.4f mean=%.4f", e.MinRatio, e.MeanRatio), err
+	})
+	timed("jain", func() (string, error) {
+		e, err := estimators.Jain(t, tm, paths)
+		return fmt.Sprintf("min=%.4f mean=%.4f", e.MinRatio, e.MeanRatio), err
+	})
+	return nil
+}
+
+func cmdMCF(args []string) error {
+	fs := flag.NewFlagSet("mcf", flag.ExitOnError)
+	var tf topoFlags
+	tf.register(fs)
+	k := fs.Int("k", 16, "paths per pair (KSP-MCF)")
+	method := fs.String("method", "auto", "auto | exact | approx")
+	eps := fs.Float64("eps", 0.02, "Garg–Könemann ε")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, err := tf.build()
+	if err != nil {
+		return err
+	}
+	ub, err := tub.Bound(t, tub.Options{})
+	if err != nil {
+		return err
+	}
+	tm, err := ub.Matrix(t)
+	if err != nil {
+		return err
+	}
+	var m mcf.Method
+	switch *method {
+	case "auto":
+		m = mcf.Auto
+	case "exact":
+		m = mcf.Exact
+	case "approx":
+		m = mcf.Approx
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+	start := time.Now()
+	paths := mcf.KShortest(t, tm, *k)
+	theta, err := mcf.Throughput(t, tm, paths, mcf.Options{Method: m, Eps: *eps})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\nKSP-MCF (K=%d): theta = %.4f   TUB = %.4f   gap = %.4f   (%v)\n",
+		t, *k, theta, ub.Bound, ub.Bound-theta, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func cmdExpt(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("expt needs an experiment id")
+	}
+	id := args[0]
+	print := func(tabs ...*expt.Table) {
+		for _, t := range tabs {
+			fmt.Println(t.String())
+		}
+	}
+	switch id {
+	case "fig3":
+		for _, f := range []expt.Family{expt.FamilyJellyfish, expt.FamilyXpander, expt.FamilyFatClique} {
+			r, err := expt.RunFig3(expt.DefaultFig3(f))
+			if err != nil {
+				return err
+			}
+			print(r.Table())
+		}
+	case "fig4":
+		r, err := expt.RunFig4(expt.DefaultFig4())
+		if err != nil {
+			return err
+		}
+		print(r.Table())
+	case "fig5":
+		r, err := expt.RunFig5(expt.DefaultFig5())
+		if err != nil {
+			return err
+		}
+		print(r.Table(), r.TimeTable())
+	case "fig7":
+		r, err := expt.RunFig7()
+		if err != nil {
+			return err
+		}
+		print(r.Table())
+	case "fig8":
+		for _, f := range []expt.Family{expt.FamilyJellyfish, expt.FamilyXpander} {
+			r, err := expt.RunFig8(expt.DefaultFig8(f))
+			if err != nil {
+				return err
+			}
+			print(r.Table())
+		}
+	case "fig9":
+		r, err := expt.RunFig9(expt.DefaultFig9())
+		if err != nil {
+			return err
+		}
+		print(r.Table())
+	case "fig10":
+		r, err := expt.RunFig10(expt.DefaultFig10())
+		if err != nil {
+			return err
+		}
+		print(r.Table())
+	case "tab3":
+		r, err := expt.RunTable3(expt.DefaultTable3())
+		if err != nil {
+			return err
+		}
+		print(r.Table())
+	case "tab5":
+		r, err := expt.RunTable5(expt.DefaultTable5())
+		if err != nil {
+			return err
+		}
+		print(r.Table())
+	case "tabA1":
+		r, err := expt.RunTableA1()
+		if err != nil {
+			return err
+		}
+		print(r.Table())
+	case "figA1":
+		r, err := expt.RunFigA1(expt.DefaultFigA1())
+		if err != nil {
+			return err
+		}
+		print(r.Table())
+	case "figA2":
+		r, err := expt.RunFigA2(expt.DefaultFigA2())
+		if err != nil {
+			return err
+		}
+		print(r.Table())
+	case "figA4":
+		r, err := expt.RunFigA4(expt.DefaultFigA4())
+		if err != nil {
+			return err
+		}
+		print(r.Table())
+	case "figA5":
+		r, err := expt.RunFigA5(expt.DefaultFigA5())
+		if err != nil {
+			return err
+		}
+		print(r.Table())
+	case "ablation":
+		r, err := expt.RunAblation(expt.DefaultAblation())
+		if err != nil {
+			return err
+		}
+		print(r.Tables()...)
+	case "routing":
+		r, err := expt.RunRouting(expt.DefaultRouting())
+		if err != nil {
+			return err
+		}
+		print(r.Table())
+	case "wedge":
+		r, err := expt.RunWedge(expt.DefaultWedge())
+		if err != nil {
+			return err
+		}
+		print(r.Table())
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	markdown := fs.Bool("markdown", false, "emit markdown tables")
+	heavy := fs.Bool("heavy", false, "also run the paper-scale demonstrations (minutes)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return expt.Report(os.Stdout, expt.ReportOptions{
+		Markdown: *markdown,
+		Heavy:    *heavy,
+		Progress: os.Stderr,
+	})
+}
+
+func cmdDesign(args []string) error {
+	fs := flag.NewFlagSet("design", flag.ExitOnError)
+	servers := fs.Int("servers", 8192, "required server count N")
+	radix := fs.Int("radix", 32, "switch radix")
+	target := fs.Int("target", 0, "future server count to plan expansion for (0 = none)")
+	floor := fs.Float64("floor", 1.0, "required worst-case throughput (1 = full throughput)")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := design.Spec{Servers: *servers, Radix: *radix, Seed: *seed}
+	if *floor != 1 {
+		spec.Objective = design.ThroughputAtLeast
+		spec.Target = *floor
+	}
+	fmt.Printf("cheapest designs for N=%d, R=%d, TUB >= %.2f:\n", *servers, *radix, *floor)
+	for _, row := range design.Compare(spec) {
+		if row.Err != nil {
+			fmt.Printf("  %-10s %v\n", row.Name, row.Err)
+			continue
+		}
+		fmt.Printf("  %-10s %5d switches  H=%-3d TUB=%.3f\n", row.Name, row.Switches, row.H, row.TUB)
+	}
+	if *target > 0 {
+		for _, f := range []expt.Family{expt.FamilyJellyfish, expt.FamilyXpander} {
+			s := spec
+			s.Family = f
+			plan, err := design.PlanExpansion(s, *target)
+			if err != nil {
+				fmt.Printf("expansion (%s): %v\n", f, err)
+				continue
+			}
+			fmt.Printf("expansion plan (%s) to N=%d: deploy H=%d (%d -> %d switches; TUB %.3f -> %.3f)\n",
+				f, *target, plan.ServersPerSwitch, plan.InitialSwitches, plan.TargetSwitches,
+				plan.TUBAtInitial, plan.TUBAtTarget)
+			if plan.NaiveH > plan.ServersPerSwitch {
+				fmt.Printf("  naive day-one choice H=%d would end at TUB=%.3f after growth — plan ahead (§5.1)\n",
+					plan.NaiveH, plan.NaiveTUBTarget)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestCmdGen(t *testing.T) {
+	for _, fam := range []string{"jellyfish", "xpander", "fatclique", "fattree", "clos"} {
+		args := []string{"-family", fam, "-switches", "20", "-radix", "8", "-servers", "3"}
+		if err := cmdGen(args); err != nil {
+			t.Errorf("gen %s: %v", fam, err)
+		}
+	}
+	if err := cmdGen([]string{"-family", "nope"}); err == nil {
+		t.Error("expected error for unknown family")
+	}
+}
+
+func TestCmdTubMatchers(t *testing.T) {
+	for _, m := range []string{"auto", "exact", "auction", "greedy"} {
+		args := []string{"-family", "jellyfish", "-switches", "20", "-radix", "8", "-servers", "3", "-matcher", m}
+		if err := cmdTub(args); err != nil {
+			t.Errorf("tub %s: %v", m, err)
+		}
+	}
+	if err := cmdTub([]string{"-matcher", "bogus"}); err == nil {
+		t.Error("expected error for unknown matcher")
+	}
+}
+
+func TestCmdMetrics(t *testing.T) {
+	args := []string{"-family", "jellyfish", "-switches", "20", "-radix", "8", "-servers", "3", "-k", "4"}
+	if err := cmdMetrics(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdMCF(t *testing.T) {
+	for _, m := range []string{"auto", "exact", "approx"} {
+		args := []string{"-family", "jellyfish", "-switches", "16", "-radix", "8", "-servers", "3", "-k", "4", "-method", m}
+		if err := cmdMCF(args); err != nil {
+			t.Errorf("mcf %s: %v", m, err)
+		}
+	}
+	if err := cmdMCF([]string{"-method", "bogus"}); err == nil {
+		t.Error("expected error for unknown method")
+	}
+}
+
+func TestCmdExptCheapIDs(t *testing.T) {
+	// Only the sub-second experiments; the heavy ones run in the report.
+	for _, id := range []string{"fig7", "tabA1"} {
+		if err := cmdExpt([]string{id}); err != nil {
+			t.Errorf("expt %s: %v", id, err)
+		}
+	}
+	if err := cmdExpt([]string{"bogus"}); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+	if err := cmdExpt(nil); err == nil {
+		t.Error("expected error for missing id")
+	}
+}
+
+func TestCmdGenWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"t.dot", "t.topo"} {
+		p := dir + "/" + name
+		args := []string{"-family", "jellyfish", "-switches", "12", "-radix", "8", "-servers", "3", "-o", p}
+		if err := cmdGen(args); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("%s not written: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package design_test
+
+import (
+	"fmt"
+	"log"
+
+	"dctopo/design"
+	"dctopo/expt"
+)
+
+// ExampleCheapest sizes the cheapest full-throughput Jellyfish for a
+// server target — sizing by TUB rather than bisection bandwidth, as the
+// paper recommends.
+func ExampleCheapest() {
+	r, err := design.Cheapest(design.Spec{
+		Family:  expt.FamilyJellyfish,
+		Servers: 512,
+		Radix:   16,
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("H=%d, %d switches, TUB=%.3f\n", r.ServersPerSwitch, r.Switches, r.TUB)
+	// Output: H=4, 128 switches, TUB=1.000
+}

@@ -1,0 +1,28 @@
+// Package dctopo reproduces "A Throughput-Centric View of the Performance
+// of Datacenter Topologies" (Namyar, Supittayapornpong, Zhang, Yu,
+// Govindan — SIGCOMM 2021) as a production-quality Go library.
+//
+// The module is organized as:
+//
+//   - topo: topology model and generators — Jellyfish, Xpander, FatClique,
+//     folded Clos / fat-tree — plus failure injection and random-rewiring
+//     expansion.
+//   - traffic: hose-model traffic matrices (permutations, all-to-all).
+//   - tub: the paper's contribution — the throughput upper bound of
+//     Theorem 2.2/Equation 18 via maximum-weight matching over pairwise
+//     distances, the all-topology Theorem 4.1 bound via the Moore bound,
+//     the Equation 3 scaling limit (Table 3), and the Theorem 8.4 lower
+//     bound.
+//   - mcf: path-based multi-commodity-flow throughput (§H) with an exact
+//     simplex backend and a Garg–Könemann FPTAS backend.
+//   - estimators: the competing metrics — bisection bandwidth (METIS-style
+//     multilevel partitioning), spectral sparsest cut, the Singla et al.
+//     NSDI'14 bound, Hoefler's method, and Jain's method.
+//   - expt: drivers that regenerate every table and figure of the paper's
+//     evaluation.
+//   - cmd/topobench: the command-line front end.
+//
+// Start with examples/quickstart, or run:
+//
+//	go run ./cmd/topobench report
+package dctopo

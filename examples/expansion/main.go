@@ -1,0 +1,64 @@
+// Expansion planning: the paper's §5.1 scenario. An operator deploys a
+// Jellyfish sized for today's demand and later expands it by random
+// rewiring, keeping servers-per-switch fixed (the strategy the Jellyfish
+// and Xpander papers advertise as "no advance planning needed").
+//
+// The example shows the catch: if the initial H was chosen without the
+// target size in mind, expansion silently drops the fabric below full
+// throughput long before bisection bandwidth notices, so a designer must
+// pick H for the *final* size up front — just like Clos planning.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dctopo/estimators"
+	"dctopo/topo"
+	"dctopo/tub"
+)
+
+func main() {
+	radix := flag.Int("radix", 32, "switch radix")
+	servers := flag.Int("servers", 10, "servers per switch (kept fixed during expansion)")
+	initSwitches := flag.Int("switches", 64, "initial switch count")
+	steps := flag.Int("steps", 8, "number of 20% expansion steps")
+	seed := flag.Uint64("seed", 7, "RNG seed")
+	flag.Parse()
+
+	t, err := topo.Jellyfish(topo.JellyfishConfig{
+		Switches: *initSwitches, Radix: *radix, Servers: *servers, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := tub.Bound(t, tub.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial: %s  TUB=%.3f  full-throughput=%v\n",
+		t, base.Bound, base.Bound >= 1)
+
+	cur := t
+	for i := 1; i <= *steps; i++ {
+		add := *initSwitches / 5 // 20% of the original size per step
+		cur, err = topo.Expand(cur, add, *seed+uint64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		bound, err := tub.Bound(cur, tub.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bbw := estimators.Bisection(cur, *seed)
+		ratio := float64(cur.NumSwitches()) / float64(*initSwitches)
+		fmt.Printf("x%.1f: %4d switches %6d servers  TUB=%.3f (%.0f%% of initial)  full-BBW=%v\n",
+			ratio, cur.NumSwitches(), cur.NumServers(),
+			bound.Bound, 100*bound.Bound/base.Bound, bbw.Full)
+	}
+
+	fmt.Println("\nIf the TUB column sinks below 1 while BBW still looks healthy, the")
+	fmt.Println("expanded fabric can no longer carry every admissible traffic pattern —")
+	fmt.Println("the operator needed to start from a smaller H (or re-wire servers).")
+}

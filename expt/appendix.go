@@ -1,0 +1,363 @@
+package expt
+
+import (
+	"fmt"
+
+	"dctopo/mcf"
+	"dctopo/topo"
+	"dctopo/tub"
+)
+
+// FigA1Params configures the theoretical-gap experiment (Figure A.1): the
+// difference between the Theorem 2.2 upper bound and the Theorem 8.4
+// lower bound with additive path length M.
+type FigA1Params struct {
+	Radix, Servers int
+	Switches       []int
+	Slack          int // the paper uses M = 1
+	Seed           uint64
+}
+
+// DefaultFigA1 sweeps Jellyfish at the paper's radix.
+func DefaultFigA1() FigA1Params {
+	return FigA1Params{
+		Radix: 32, Servers: 8,
+		Switches: []int{64, 128, 256, 512, 1024, 2048},
+		Slack:    1,
+		Seed:     1,
+	}
+}
+
+// FigA1Row is one size point.
+type FigA1Row struct {
+	Servers int
+	Upper   float64
+	Lower   float64
+	Gap     float64
+}
+
+// FigA1Result is the theoretical-gap sweep.
+type FigA1Result struct {
+	Params FigA1Params
+	Rows   []FigA1Row
+}
+
+// RunFigA1 computes the theoretical throughput gap across sizes.
+func RunFigA1(p FigA1Params) (*FigA1Result, error) {
+	res := &FigA1Result{Params: p}
+	for _, n := range p.Switches {
+		t, err := Build(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ub, err := tub.Bound(t, tub.Options{})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, FigA1Row{
+			Servers: t.NumServers(),
+			Upper:   ub.Bound,
+			Lower:   ub.LowerBound(t, p.Slack),
+			Gap:     ub.TheoreticalGap(t, p.Slack),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *FigA1Result) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Figure A.1: theoretical throughput gap (jellyfish R=%d H=%d, M=%d)", r.Params.Radix, r.Params.Servers, r.Params.Slack),
+		Columns: []string{"servers", "upper (Thm 2.2)", "lower (Thm 8.4)", "gap"},
+	}
+	for _, row := range r.Rows {
+		t.Add(row.Servers, row.Upper, row.Lower, row.Gap)
+	}
+	t.Notes = append(t.Notes, "paper shape: the maximum possible gap shrinks as the topology grows and vanishes asymptotically (Fig. A.1, Corollary 2)")
+	return t
+}
+
+// FigA2Params configures the equipment-normalized Jellyfish vs fat-tree
+// comparison (Figure A.2) and the Xpander vs fat-tree switch-count
+// comparison (Figure A.3).
+type FigA2Params struct {
+	// FatTreeK lists fat-tree port counts k; each defines an equipment
+	// budget (5k²/4 switches of radix k) and a server count (k³/4).
+	FatTreeK []int
+	Seed     uint64
+}
+
+// DefaultFigA2 uses small-to-medium fat-trees.
+func DefaultFigA2() FigA2Params {
+	return FigA2Params{FatTreeK: []int{8, 12, 16, 24}, Seed: 1}
+}
+
+// FigA2Row is one radix point.
+type FigA2Row struct {
+	K               int
+	FatTreeServers  int
+	FatTreeSwitches int
+	// JFServers is the most servers a Jellyfish on the same equipment
+	// (same switch count and radix) supports at full throughput (TUB>=1).
+	JFServers int
+	// AdvantagePct = JFServers/FatTreeServers − 1.
+	AdvantagePct float64
+	// XpanderSwitches is the fewest switches an Xpander needs to carry
+	// FatTreeServers at full throughput (Figure A.3); 0 if none found.
+	XpanderSwitches int
+}
+
+// FigA2Result holds both appendix cost comparisons.
+type FigA2Result struct {
+	Params FigA2Params
+	Rows   []FigA2Row
+}
+
+// RunFigA2 runs the equipment-normalized comparisons.
+func RunFigA2(p FigA2Params) (*FigA2Result, error) {
+	res := &FigA2Result{Params: p}
+	for _, k := range p.FatTreeK {
+		cfg := topo.ClosConfig{Radix: k, Layers: 3, Pods: k}
+		row := FigA2Row{K: k, FatTreeServers: cfg.NumServers(), FatTreeSwitches: cfg.NumSwitches()}
+		// Jellyfish on the same equipment: same switch count, same radix;
+		// increase H until TUB < 1.
+		for h := 1; k-h >= 2; h++ {
+			t, err := topo.Jellyfish(topo.JellyfishConfig{Switches: row.FatTreeSwitches, Radix: k, Servers: h, Seed: p.Seed})
+			if err != nil {
+				break
+			}
+			ub, err := tub.Bound(t, tub.Options{})
+			if err != nil {
+				return nil, err
+			}
+			if ub.Bound < 1 {
+				break
+			}
+			row.JFServers = t.NumServers()
+		}
+		row.AdvantagePct = 100 * (float64(row.JFServers)/float64(row.FatTreeServers) - 1)
+		// Xpander carrying the fat-tree's servers with fewest switches.
+		for h := k / 2; h >= 1; h-- {
+			if k-h < 2 {
+				continue
+			}
+			n := (row.FatTreeServers + h - 1) / h
+			t, err := topo.Xpander(topo.XpanderConfig{Switches: n, Radix: k, Servers: h, Seed: p.Seed})
+			if err != nil {
+				continue
+			}
+			if t.NumServers() < row.FatTreeServers {
+				continue
+			}
+			ub, err := tub.Bound(t, tub.Options{})
+			if err != nil {
+				return nil, err
+			}
+			if ub.Bound >= 1 {
+				row.XpanderSwitches = t.NumSwitches()
+				break
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders both comparisons.
+func (r *FigA2Result) Table() *Table {
+	t := &Table{
+		Title:   "Figures A.2/A.3: same-equipment cost comparisons at full throughput (per TUB)",
+		Columns: []string{"k", "fat-tree N", "fat-tree sw", "jellyfish N (same equip)", "advantage", "xpander sw for fat-tree N"},
+	}
+	for _, row := range r.Rows {
+		xp := "not found"
+		if row.XpanderSwitches > 0 {
+			xp = fmt.Sprintf("%d (%.0f%% of fat-tree)", row.XpanderSwitches, 100*float64(row.XpanderSwitches)/float64(row.FatTreeSwitches))
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.K),
+			fmt.Sprintf("%d", row.FatTreeServers),
+			fmt.Sprintf("%d", row.FatTreeSwitches),
+			fmt.Sprintf("%d", row.JFServers),
+			fmt.Sprintf("%+.0f%%", row.AdvantagePct),
+			xp,
+		})
+	}
+	t.Notes = append(t.Notes, "paper shape: the Jellyfish advantage is far below the 27% claimed with ideal-routing estimates, and does not grow with radix (Fig. A.2)")
+	return t
+}
+
+// FigA4Params configures the expansion experiment (§5.1, §L, Fig. A.4):
+// grow a Jellyfish by random rewiring at fixed H and track normalized TUB.
+type FigA4Params struct {
+	Radix    int
+	Servers  []int // H values
+	InitN    int   // initial servers
+	MaxRatio float64
+	Step     float64
+	Seed     uint64
+}
+
+// DefaultFigA4 expands a radix-32 Jellyfish from 6K servers to 2.6x —
+// crossing the empirical H=8 full-throughput frontier (~8K servers, cf.
+// Figure 8(a)) exactly as the paper's 10K→26K expansion does.
+func DefaultFigA4() FigA4Params {
+	return FigA4Params{
+		Radix:    32,
+		Servers:  []int{6, 7, 8},
+		InitN:    6144,
+		MaxRatio: 2.6,
+		Step:     0.4,
+		Seed:     1,
+	}
+}
+
+// FigA4Row is one expansion point.
+type FigA4Row struct {
+	H          int
+	Ratio      float64
+	Servers    int
+	TUB        float64
+	Normalized float64 // TUB / TUB(initial)
+}
+
+// FigA4Result is the expansion sweep.
+type FigA4Result struct {
+	Params FigA4Params
+	Rows   []FigA4Row
+}
+
+// RunFigA4 expands at fixed H and measures the TUB drop.
+func RunFigA4(p FigA4Params) (*FigA4Result, error) {
+	res := &FigA4Result{Params: p}
+	for _, h := range p.Servers {
+		t, err := topo.Jellyfish(topo.JellyfishConfig{Switches: p.InitN / h, Radix: p.Radix, Servers: h, Seed: p.Seed})
+		if err != nil {
+			return nil, err
+		}
+		base, err := tub.Bound(t, tub.Options{})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, FigA4Row{H: h, Ratio: 1, Servers: t.NumServers(), TUB: base.Bound, Normalized: 1})
+		cur := t
+		initSw := t.NumSwitches()
+		for ratio := 1 + p.Step; ratio <= p.MaxRatio+1e-9; ratio += p.Step {
+			target := int(float64(initSw) * ratio)
+			add := target - cur.NumSwitches()
+			if add <= 0 {
+				continue
+			}
+			cur, err = topo.Expand(cur, add, p.Seed+uint64(ratio*100))
+			if err != nil {
+				return nil, err
+			}
+			ub, err := tub.Bound(cur, tub.Options{})
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, FigA4Row{
+				H: h, Ratio: ratio, Servers: cur.NumServers(),
+				TUB: ub.Bound, Normalized: ub.Bound / base.Bound,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Table renders the expansion sweep.
+func (r *FigA4Result) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Figure A.4: Jellyfish expansion by random rewiring (R=%d, init N=%d)", r.Params.Radix, r.Params.InitN),
+		Columns: []string{"H", "expansion ratio", "servers", "TUB", "normalized"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.H),
+			fmt.Sprintf("%.1fx", row.Ratio),
+			fmt.Sprintf("%d", row.Servers),
+			fmt.Sprintf("%.3f", row.TUB),
+			fmt.Sprintf("%.3f", row.Normalized),
+		})
+	}
+	t.Notes = append(t.Notes, "paper shape: expansion at fixed H can cost >20% throughput from small starting points; larger starts lose little (Fig. A.4)")
+	return t
+}
+
+// FigA5Params configures the K-sensitivity sweep (Figure A.5).
+type FigA5Params struct {
+	Radix, Servers int
+	Switches       []int
+	KList          []int
+	Seed           uint64
+}
+
+// DefaultFigA5 scales the paper's K ∈ {20,60,100,200} down with the radix.
+func DefaultFigA5() FigA5Params {
+	return FigA5Params{
+		Radix: 10, Servers: 4,
+		Switches: []int{24, 54, 120},
+		KList:    []int{2, 4, 8, 16},
+		Seed:     1,
+	}
+}
+
+// FigA5Row is one (K, size) gap point.
+type FigA5Row struct {
+	K       int
+	Servers int
+	TUB     float64
+	Theta   float64
+	Gap     float64
+}
+
+// FigA5Result is the K sweep.
+type FigA5Result struct {
+	Params FigA5Params
+	Rows   []FigA5Row
+}
+
+// RunFigA5 measures the throughput gap for different K.
+func RunFigA5(p FigA5Params) (*FigA5Result, error) {
+	res := &FigA5Result{Params: p}
+	for _, n := range p.Switches {
+		t, err := Build(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ub, err := tub.Bound(t, tub.Options{})
+		if err != nil {
+			return nil, err
+		}
+		tm, err := ub.Matrix(t)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range p.KList {
+			paths := mcf.KShortest(t, tm, k)
+			theta, err := mcf.Throughput(t, tm, paths, mcf.Options{Method: mcf.Approx, Eps: 0.02})
+			if err != nil {
+				return nil, err
+			}
+			gap := ub.Bound - theta
+			if gap < 0 {
+				gap = 0
+			}
+			res.Rows = append(res.Rows, FigA5Row{K: k, Servers: t.NumServers(), TUB: ub.Bound, Theta: theta, Gap: gap})
+		}
+	}
+	return res, nil
+}
+
+// Table renders the K sweep.
+func (r *FigA5Result) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Figure A.5: throughput gap vs K (jellyfish R=%d H=%d)", r.Params.Radix, r.Params.Servers),
+		Columns: []string{"servers", "K", "TUB", "theta", "gap"},
+	}
+	for _, row := range r.Rows {
+		t.Add(row.Servers, row.K, row.TUB, row.Theta, row.Gap)
+	}
+	t.Notes = append(t.Notes, "paper shape: too-small K leaves a residual gap even at large sizes; larger K converges (Fig. A.5)")
+	return t
+}

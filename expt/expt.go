@@ -1,0 +1,175 @@
+// Package expt is the experiment harness: one driver per table and figure
+// of the paper's evaluation, each emitting the same rows/series the paper
+// reports. Drivers are deterministic given their parameter struct (all
+// randomness is seeded) and return printable results used by
+// cmd/topobench, the repository benchmarks, and EXPERIMENTS.md.
+//
+// Scaling: experiments that need only TUB and cut metrics (Figures 8–10,
+// Tables 3/5/A.1) run at the paper's radix-32 scale. Experiments that need
+// multi-commodity-flow ground truth (Figures 3–5, A.5) run on scaled-down
+// topologies — the paper itself shows the interesting regime is *small*
+// networks, so the phenomena survive scaling; EXPERIMENTS.md records the
+// mapping.
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"dctopo/topo"
+)
+
+// Table is a printable result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Add appends a row; values are formatted with %v ("%.4g" for floats).
+func (t *Table) Add(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
+// Family identifies a uni-regular topology generator family.
+type Family string
+
+// Topology families used across experiments.
+const (
+	FamilyJellyfish Family = "jellyfish"
+	FamilyXpander   Family = "xpander"
+	FamilyFatClique Family = "fatclique"
+)
+
+// Build generates a uni-regular family member with ~switches switches of
+// the given radix and servers per switch. For FatClique, the
+// best-connected enumerable shape near the requested size is used (per the
+// paper, FatClique sizes are not dense) and H may differ by one across
+// switches.
+func Build(f Family, switches, radix, servers int, seed uint64) (*topo.Topology, error) {
+	switch f {
+	case FamilyJellyfish:
+		return topo.Jellyfish(topo.JellyfishConfig{Switches: switches, Radix: radix, Servers: servers, Seed: seed})
+	case FamilyXpander:
+		return topo.Xpander(topo.XpanderConfig{Switches: switches, Radix: radix, Servers: servers, Seed: seed})
+	case FamilyFatClique:
+		shapes := topo.FatCliqueShapes(radix-servers, max(2, switches*4/5), switches*6/5)
+		if len(shapes) == 0 {
+			shapes = topo.FatCliqueShapes(radix-servers, 2, switches*2)
+		}
+		if len(shapes) == 0 {
+			return nil, fmt.Errorf("expt: no fatclique shape near %d switches at degree %d", switches, radix-servers)
+		}
+		best := shapes[0]
+		bestScore := fatCliqueCutScore(best)
+		for _, s := range shapes[1:] {
+			if sc := fatCliqueCutScore(s); sc > bestScore ||
+				(sc == bestScore && abs(s.Switches()-switches) < abs(best.Switches()-switches)) {
+				best, bestScore = s, sc
+			}
+		}
+		best.TotalServers = best.Switches() * servers
+		return topo.FatClique(best)
+	}
+	return nil, fmt.Errorf("expt: unknown family %q", f)
+}
+
+// fatCliqueCutScore estimates a shape's balanced-bisection capacity per
+// switch (the binding level is the coarsest one that has to be split);
+// used to pick well-connected shapes among the many with a given size,
+// mimicking the design search of the FatClique paper.
+func fatCliqueCutScore(c topo.FatCliqueConfig) float64 {
+	n := float64(c.Switches())
+	switch {
+	case c.Blocks > 1:
+		half := float64(c.Blocks / 2)
+		other := float64(c.Blocks) - half
+		perPair := float64(c.SubBlockSize*c.SubBlocks*c.GlobalPorts) / float64(c.Blocks-1)
+		return half * other * perPair / n
+	case c.SubBlocks > 1:
+		half := float64(c.SubBlocks / 2)
+		other := float64(c.SubBlocks) - half
+		perPair := float64(c.SubBlockSize*c.BlockPorts) / float64(c.SubBlocks-1)
+		return half * other * perPair / n
+	default:
+		half := float64(c.SubBlockSize / 2)
+		return half * (n - half) / n
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

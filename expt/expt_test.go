@@ -1,0 +1,329 @@
+package expt
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dctopo/topo"
+)
+
+type topoFatCliqueAlias = topo.FatCliqueConfig
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Notes:   []string{"n1"},
+	}
+	tab.Add(1, 2.5)
+	tab.Add("x", "y")
+	s := tab.String()
+	for _, want := range []string{"demo", "a", "bb", "2.5", "n1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	md := tab.Markdown()
+	if !strings.Contains(md, "| a | bb |") || !strings.Contains(md, "|---|---|") {
+		t.Errorf("bad markdown:\n%s", md)
+	}
+}
+
+func TestBuildFamilies(t *testing.T) {
+	for _, f := range []Family{FamilyJellyfish, FamilyXpander, FamilyFatClique} {
+		top, err := Build(f, 24, 10, 4, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if top.NumSwitches() < 15 || top.NumSwitches() > 40 {
+			t.Errorf("%s: switch count %d far from request 24", f, top.NumSwitches())
+		}
+		if !top.UniRegular() {
+			t.Errorf("%s: not uni-regular", f)
+		}
+	}
+	if _, err := Build(Family("nope"), 10, 10, 4, 1); err == nil {
+		t.Error("expected error for unknown family")
+	}
+}
+
+func TestRunFig7PaperValues(t *testing.T) {
+	r, err := RunFig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.UniTheta-5.0/6.0) > 1e-7 {
+		t.Errorf("uni theta = %v, want 5/6", r.UniTheta)
+	}
+	if math.Abs(r.UniTUB-1) > 1e-9 {
+		t.Errorf("uni TUB = %v, want 1", r.UniTUB)
+	}
+	if r.BiTheta < 1-1e-9 {
+		t.Errorf("bi theta = %v, want >= 1", r.BiTheta)
+	}
+	if !strings.Contains(r.Table().String(), "5/6") {
+		t.Error("table missing paper value")
+	}
+}
+
+func TestRunFig3Small(t *testing.T) {
+	p := Fig3Params{
+		Family: FamilyJellyfish, Radix: 8, Servers: []int{3},
+		Switches: []int{12, 20}, K: 4, Seed: 1,
+	}
+	r, err := RunFig3(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Gap < 0 || row.Theta > row.TUB+1e-7 {
+			t.Errorf("invalid row %+v", row)
+		}
+	}
+	_ = r.Table().String()
+}
+
+func TestRunFig4Small(t *testing.T) {
+	p := Fig4Params{Radix: 8, Servers: 3, Switches: []int{16, 24}, K: 4, Seed: 1}
+	r, err := RunFig4(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.ShortestFrac < 0 || row.ShortestFrac > 1+1e-9 {
+			t.Errorf("bad shortest fraction %v", row.ShortestFrac)
+		}
+		if row.MeanSPL < 1 {
+			t.Errorf("expected at least one shortest path on average, got %v", row.MeanSPL)
+		}
+	}
+	_ = r.Table().String()
+}
+
+func TestRunFig5Small(t *testing.T) {
+	p := Fig5Params{Radix: 8, Servers: 3, Switches: []int{16, 24}, K: 4, Seed: 1, WithReference: true}
+	r, err := RunFig5(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.TUB < row.Theta-1e-7 {
+			t.Errorf("TUB %v below theta %v", row.TUB, row.Theta)
+		}
+		if row.HM > row.Theta+1e-7 || row.JM > row.Theta+1e-7 {
+			t.Errorf("flow heuristics above LP optimum: %+v", row)
+		}
+	}
+	_ = r.Table().String()
+	_ = r.TimeTable().String()
+	// Without reference the table switches to absolute mode.
+	p.WithReference = false
+	r2, err := RunFig5(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r2.Table().Title, "5(c)") {
+		t.Error("no-reference table should be the 5(c) variant")
+	}
+}
+
+func TestRunFig8Small(t *testing.T) {
+	p := Fig8Params{
+		Family: FamilyJellyfish, Radix: 12, Servers: []int{3, 6},
+		MinSwitches: 12, MaxSwitches: 60, Seed: 1,
+	}
+	r, err := RunFig8(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	// H=3 (degree 9) should reach full throughput somewhere in range;
+	// H=6 (degree 6, ratio 1) should not.
+	if r.Rows[0].TUBFrontierN == 0 {
+		t.Error("H=3 should have a non-empty full-throughput region")
+	}
+	if r.Rows[1].TUBFrontierN >= r.Rows[0].TUBFrontierN && r.Rows[0].TUBFrontierN > 0 {
+		t.Errorf("frontier should shrink with H: %+v", r.Rows)
+	}
+	_ = r.Table().String()
+}
+
+func TestRunFatCliqueFrontierSmall(t *testing.T) {
+	r, err := RunFatCliqueFrontier(12, 4, 8, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Shapes) == 0 {
+		t.Fatal("no shapes classified")
+	}
+	_ = r.Table().String()
+}
+
+func TestRunFig9Small(t *testing.T) {
+	p := Fig9Params{Servers: 256, Radix: 12, MinH: 2, Seed: 1}
+	r, err := RunFig9(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	if r.ClosSwitches == 0 {
+		t.Error("no Clos sizing")
+	}
+	for _, row := range r.Rows {
+		if row.SwitchesTUB != 0 && row.HTUB == 0 {
+			t.Errorf("row %+v has switches without H", row)
+		}
+	}
+	_ = r.Table().String()
+}
+
+func TestRunFig10Small(t *testing.T) {
+	p := Fig10Params{
+		Family: FamilyJellyfish, Radix: 12, Servers: 4,
+		SizeList: []int{160}, Fractions: []float64{0.1, 0.2}, Seed: 1,
+	}
+	r, err := RunFig10(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Actual <= 0 || row.Nominal <= 0 {
+			t.Errorf("bad row %+v", row)
+		}
+	}
+	if len(r.Deviation) != 1 {
+		t.Error("missing deviation entry")
+	}
+	_ = r.Table().String()
+}
+
+func TestRunTable3PaperNumbers(t *testing.T) {
+	p := Table3Params{
+		Radix: 32, Servers: []int{8}, MaxN: 1 << 30,
+		BBWProbeSwitches: []int{64}, Seed: 1,
+	}
+	r, err := RunTable3(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Rows[0].MaxNEq3; got < 105000 || got > 115000 {
+		t.Errorf("Eq3 max N = %d, paper says ~111K", got)
+	}
+	_ = r.Table().String()
+}
+
+func TestRunTableA1AllOnes(t *testing.T) {
+	r, err := RunTableA1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if math.Abs(row.TUB-1) > 1e-9 {
+			t.Errorf("Clos %+v TUB = %v, want 1", row.Config, row.TUB)
+		}
+	}
+	_ = r.Table().String()
+}
+
+func TestRunTable5Small(t *testing.T) {
+	p := Table5Params{
+		Servers: 480, Radix: 12, Seed: 1,
+		PerSw: map[Family]int{FamilyJellyfish: 4, FamilyXpander: 4, FamilyFatClique: 4},
+	}
+	r, err := RunTable5(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	_ = r.Table().String()
+}
+
+func TestRunFigA1GapShrinks(t *testing.T) {
+	p := FigA1Params{Radix: 16, Servers: 4, Switches: []int{32, 256}, Slack: 1, Seed: 1}
+	r, err := RunFigA1(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Lower > row.Upper+1e-12 || row.Gap < 0 {
+			t.Errorf("bad row %+v", row)
+		}
+	}
+	if r.Rows[1].Gap > r.Rows[0].Gap+1e-9 {
+		t.Errorf("theoretical gap should shrink with size: %+v", r.Rows)
+	}
+	_ = r.Table().String()
+}
+
+func TestRunFigA2Small(t *testing.T) {
+	r, err := RunFigA2(FigA2Params{FatTreeK: []int{4, 8}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.FatTreeServers != row.K*row.K*row.K/4 {
+			t.Errorf("fat-tree servers wrong for k=%d", row.K)
+		}
+	}
+	_ = r.Table().String()
+}
+
+func TestRunFigA4NormalizedStartsAtOne(t *testing.T) {
+	p := FigA4Params{Radix: 12, Servers: []int{4}, InitN: 96, MaxRatio: 1.5, Step: 0.25, Seed: 1}
+	r, err := RunFigA4(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0].Normalized != 1 {
+		t.Errorf("first row normalized = %v", r.Rows[0].Normalized)
+	}
+	if len(r.Rows) < 2 {
+		t.Fatal("expected expansion rows")
+	}
+	_ = r.Table().String()
+}
+
+func TestRunFigA5MorePathsSmallerGap(t *testing.T) {
+	p := FigA5Params{Radix: 8, Servers: 3, Switches: []int{24}, KList: []int{1, 8}, Seed: 1}
+	r, err := RunFigA5(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	if r.Rows[1].Gap > r.Rows[0].Gap+0.02 {
+		t.Errorf("K=8 gap %v should not exceed K=1 gap %v", r.Rows[1].Gap, r.Rows[0].Gap)
+	}
+	_ = r.Table().String()
+}
+
+func TestFatCliqueCutScorePrefersGlobalCapacity(t *testing.T) {
+	weak := fatCliqueCutScore(topoFatCliqueCfg(3, 4, 219, 2, 19))
+	strong := fatCliqueCutScore(topoFatCliqueCfg(3, 7, 156, 2, 19))
+	if weak <= 0 || strong <= 0 {
+		t.Fatal("scores must be positive")
+	}
+}
+
+func topoFatCliqueCfg(c, s, b, p2, p3 int) (out topoFatCliqueAlias) {
+	out.SubBlockSize, out.SubBlocks, out.Blocks = c, s, b
+	out.BlockPorts, out.GlobalPorts = p2, p3
+	return
+}

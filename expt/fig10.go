@@ -1,0 +1,121 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+
+	"dctopo/tub"
+)
+
+// Fig10Params configures the failure-resilience experiment: TUB under
+// uniformly random link failures versus the nominal (1−f)·θ expectation
+// of graceful degradation.
+type Fig10Params struct {
+	Family    Family
+	Radix     int
+	Servers   int   // H
+	SizeList  []int // server counts N (switch count = N/H)
+	Fractions []float64
+	Seed      uint64
+}
+
+// DefaultFig10 matches the paper's Figure 10(a) setting (Jellyfish,
+// R=32, H=8, N=32K); Figure 10(b)'s 131K point is one SizeList entry away.
+func DefaultFig10() Fig10Params {
+	return Fig10Params{
+		Family:    FamilyJellyfish,
+		Radix:     32,
+		Servers:   8,
+		SizeList:  []int{32768},
+		Fractions: []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3},
+		Seed:      1,
+	}
+}
+
+// Fig10Row is one (N, f) measurement.
+type Fig10Row struct {
+	Servers  int
+	Fraction float64
+	Actual   float64 // TUB after failures
+	Nominal  float64 // (1−f)·TUB(no failures)
+}
+
+// Fig10Result is the resilience sweep.
+type Fig10Result struct {
+	Params Fig10Params
+	Rows   []Fig10Row
+	// Deviation is the RMS relative deviation of actual from nominal per
+	// size (Figure 10c).
+	Deviation map[int]float64
+}
+
+// RunFig10 evaluates TUB under random link failures.
+func RunFig10(p Fig10Params) (*Fig10Result, error) {
+	res := &Fig10Result{Params: p, Deviation: map[int]float64{}}
+	for _, n := range p.SizeList {
+		t, err := Build(p.Family, n/p.Servers, p.Radix, p.Servers, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		base, err := tub.Bound(t, tub.Options{})
+		if err != nil {
+			return nil, err
+		}
+		var sq float64
+		for _, f := range p.Fractions {
+			var failed = t
+			var ferr error
+			for attempt := uint64(0); attempt < 10; attempt++ {
+				failed, ferr = t.WithLinkFailures(f, p.Seed+attempt)
+				if ferr == nil {
+					break
+				}
+			}
+			if ferr != nil {
+				return nil, fmt.Errorf("expt: fig10 f=%v: %w", f, ferr)
+			}
+			ub, err := tub.Bound(failed, tub.Options{})
+			if err != nil {
+				return nil, err
+			}
+			nominal := (1 - f) * base.Bound
+			res.Rows = append(res.Rows, Fig10Row{
+				Servers: t.NumServers(), Fraction: f,
+				Actual: ub.Bound, Nominal: nominal,
+			})
+			rel := (nominal - ub.Bound) / nominal
+			if rel < 0 {
+				rel = 0
+			}
+			sq += rel * rel
+		}
+		res.Deviation[t.NumServers()] = math.Sqrt(sq / float64(len(p.Fractions)))
+	}
+	return res, nil
+}
+
+// Table renders the resilience sweep.
+func (r *Fig10Result) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 10: TUB under random link failures (%s, R=%d, H=%d)", r.Params.Family, r.Params.Radix, r.Params.Servers),
+		Columns: []string{"servers", "failed links", "actual TUB", "nominal (1-f)*theta", "deviation"},
+	}
+	for _, row := range r.Rows {
+		dev := (row.Nominal - row.Actual) / row.Nominal
+		if dev < 0 {
+			dev = 0
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.Servers),
+			fmt.Sprintf("%.0f%%", row.Fraction*100),
+			fmt.Sprintf("%.3f", row.Actual),
+			fmt.Sprintf("%.3f", row.Nominal),
+			fmt.Sprintf("%.1f%%", dev*100),
+		})
+	}
+	for n, d := range r.Deviation {
+		t.Notes = append(t.Notes, fmt.Sprintf("RMS deviation at N=%d: %.2f%%", n, d*100))
+	}
+	t.Notes = append(t.Notes, "paper shape: small topologies degrade gracefully; large ones deviate up to ~20% below nominal (Fig. 10)")
+	return t
+}

@@ -1,0 +1,98 @@
+package expt
+
+import (
+	"fmt"
+
+	"dctopo/mcf"
+	"dctopo/tub"
+)
+
+// Fig3Params configures the Figure 3 reproduction: the throughput gap
+// between TUB and KSP-MCF on the maximal permutation matrix, swept over
+// topology size and servers per switch.
+type Fig3Params struct {
+	Family   Family
+	Radix    int
+	Servers  []int // H values
+	Switches []int // switch counts to sweep
+	K        int   // paths per pair for KSP-MCF
+	Seed     uint64
+}
+
+// DefaultFig3 returns a laptop-scale parameterization (the paper uses
+// R=32 and N up to 25K with K=100; the gap-vs-size shape appears at any
+// radix once the diameter starts growing).
+func DefaultFig3(f Family) Fig3Params {
+	return Fig3Params{
+		Family:   f,
+		Radix:    10,
+		Servers:  []int{3, 4, 5},
+		Switches: []int{16, 24, 36, 54, 80, 120, 170},
+		K:        16,
+		Seed:     1,
+	}
+}
+
+// Fig3Row is one measurement of the Figure 3 sweep.
+type Fig3Row struct {
+	H        int
+	Switches int
+	Servers  int
+	TUB      float64
+	Theta    float64 // KSP-MCF throughput of the maximal permutation TM
+	Gap      float64 // TUB − Theta (>= 0 up to solver tolerance)
+}
+
+// Fig3Result is the Figure 3 series.
+type Fig3Result struct {
+	Params Fig3Params
+	Rows   []Fig3Row
+}
+
+// RunFig3 reproduces Figure 3 for one family.
+func RunFig3(p Fig3Params) (*Fig3Result, error) {
+	res := &Fig3Result{Params: p}
+	for _, h := range p.Servers {
+		for _, n := range p.Switches {
+			t, err := Build(p.Family, n, p.Radix, h, p.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("expt: fig3 %s n=%d h=%d: %w", p.Family, n, h, err)
+			}
+			ub, err := tub.Bound(t, tub.Options{})
+			if err != nil {
+				return nil, err
+			}
+			tm, err := ub.Matrix(t)
+			if err != nil {
+				return nil, err
+			}
+			paths := mcf.KShortest(t, tm, p.K)
+			theta, err := mcf.Throughput(t, tm, paths, mcf.Options{Method: mcf.Approx, Eps: 0.02})
+			if err != nil {
+				return nil, err
+			}
+			gap := ub.Bound - theta
+			if gap < 0 {
+				gap = 0
+			}
+			res.Rows = append(res.Rows, Fig3Row{
+				H: h, Switches: t.NumSwitches(), Servers: t.NumServers(),
+				TUB: ub.Bound, Theta: theta, Gap: gap,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Fig3Result) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 3 (%s): throughput gap TUB - KSP-MCF (R=%d, K=%d)", r.Params.Family, r.Params.Radix, r.Params.K),
+		Columns: []string{"H", "switches", "servers", "TUB", "theta(KSP-MCF)", "gap"},
+	}
+	for _, row := range r.Rows {
+		t.Add(row.H, row.Switches, row.Servers, row.TUB, row.Theta, row.Gap)
+	}
+	t.Notes = append(t.Notes, "paper shape: gap is non-zero at small sizes and approaches 0 as N grows (Fig. 3)")
+	return t
+}

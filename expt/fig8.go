@@ -1,0 +1,169 @@
+package expt
+
+import (
+	"fmt"
+
+	"dctopo/estimators"
+	"dctopo/topo"
+	"dctopo/tub"
+)
+
+// Fig8Params configures the full-throughput frontier experiment: for each
+// H, the largest topology (by servers) that still has TUB >= 1, compared
+// with the largest that still has full bisection bandwidth.
+type Fig8Params struct {
+	Family Family
+	Radix  int
+	// Servers lists the H values to sweep.
+	Servers []int
+	// MinSwitches/MaxSwitches bound the scan; sizes advance by ~15% per
+	// probe (the frontier is located by last-success, as in the paper's
+	// binary search over N).
+	MinSwitches, MaxSwitches int
+	Seed                     uint64
+}
+
+// DefaultFig8 sweeps the paper's radix (32) at H values whose frontiers
+// fall inside a laptop-scale switch budget. (The paper's H=6..8 frontiers
+// sit at 10K–225K servers; H=9..12 exhibit the same collapse within ~1.5K
+// switches. The closed-form Table 3 frontier covers H=6..8 exactly.)
+func DefaultFig8(f Family) Fig8Params {
+	return Fig8Params{
+		Family:      f,
+		Radix:       32,
+		Servers:     []int{9, 10, 11, 12},
+		MinSwitches: 24, // include Xpander's k=1 base (24 switches)
+		MaxSwitches: 1400,
+		Seed:        1,
+	}
+}
+
+// Fig8Row is one H's frontier.
+type Fig8Row struct {
+	H int
+	// TUBFrontierN is the largest probed server count with TUB >= 1
+	// (0 if none).
+	TUBFrontierN int
+	// BBWFrontierN is the largest probed server count with full
+	// bisection bandwidth (0 if none).
+	BBWFrontierN int
+	// Probes is the number of topologies evaluated.
+	Probes int
+}
+
+// Fig8Result is the frontier sweep.
+type Fig8Result struct {
+	Params Fig8Params
+	Rows   []Fig8Row
+}
+
+// RunFig8 computes the full-throughput and full-BBW frontiers.
+func RunFig8(p Fig8Params) (*Fig8Result, error) {
+	res := &Fig8Result{Params: p}
+	for _, h := range p.Servers {
+		row := Fig8Row{H: h}
+		for n := p.MinSwitches; n <= p.MaxSwitches; n += max(1, n*3/20) {
+			t, err := Build(p.Family, n, p.Radix, h, p.Seed)
+			if err != nil {
+				continue // shape not constructible at this size
+			}
+			row.Probes++
+			ub, err := tub.Bound(t, tub.Options{})
+			if err != nil {
+				return nil, err
+			}
+			if ub.Bound >= 1 && t.NumServers() > row.TUBFrontierN {
+				row.TUBFrontierN = t.NumServers()
+			}
+			if estimators.Bisection(t, p.Seed).Full && t.NumServers() > row.BBWFrontierN {
+				row.BBWFrontierN = t.NumServers()
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the frontier per H.
+func (r *Fig8Result) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 8 (%s): full-throughput vs full-BBW frontier (R=%d, probed up to %d switches)", r.Params.Family, r.Params.Radix, r.Params.MaxSwitches),
+		Columns: []string{"H", "full-throughput up to N", "full-BBW up to N", "probes"},
+	}
+	for _, row := range r.Rows {
+		t.Add(row.H, row.TUBFrontierN, row.BBWFrontierN, row.Probes)
+	}
+	t.Notes = append(t.Notes, "paper shape: the full-throughput frontier collapses as H grows, far below the sizes the topology can reach (Fig. 8)")
+	return t
+}
+
+// FatCliqueFrontier reproduces Figure 8(c)'s scatter: every FatClique
+// shape at a given switch degree is classified as full-throughput,
+// BBW-only, or neither.
+type FatCliqueFrontier struct {
+	Radix, Servers int
+	Shapes         []FatCliqueShapeClass
+}
+
+// FatCliqueShapeClass is one classified instance.
+type FatCliqueShapeClass struct {
+	Config  topo.FatCliqueConfig
+	Servers int
+	TUB     float64
+	FullBBW bool
+}
+
+// RunFatCliqueFrontier classifies FatClique shapes between minSwitches
+// and maxSwitches. At most 48 shapes are evaluated (an even subsample of
+// the enumeration when it is larger), which is enough to show the
+// non-monotonic scatter of the paper's Figure 8(c).
+func RunFatCliqueFrontier(radix, servers, minSwitches, maxSwitches int, seed uint64) (*FatCliqueFrontier, error) {
+	res := &FatCliqueFrontier{Radix: radix, Servers: servers}
+	shapes := topo.FatCliqueShapes(radix-servers, minSwitches, maxSwitches)
+	const maxShapes = 48
+	if len(shapes) > maxShapes {
+		sampled := make([]topo.FatCliqueConfig, 0, maxShapes)
+		for i := 0; i < maxShapes; i++ {
+			sampled = append(sampled, shapes[i*len(shapes)/maxShapes])
+		}
+		shapes = sampled
+	}
+	for _, shape := range shapes {
+		shape.TotalServers = shape.Switches() * servers
+		t, err := topo.FatClique(shape)
+		if err != nil {
+			continue
+		}
+		ub, err := tub.Bound(t, tub.Options{})
+		if err != nil {
+			return nil, err
+		}
+		res.Shapes = append(res.Shapes, FatCliqueShapeClass{
+			Config:  shape,
+			Servers: t.NumServers(),
+			TUB:     ub.Bound,
+			FullBBW: estimators.Bisection(t, seed).Full,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the classification.
+func (r *FatCliqueFrontier) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 8(c): FatClique shapes (R=%d, H=%d)", r.Radix, r.Servers),
+		Columns: []string{"c", "s", "b", "servers", "TUB", "full-BBW", "class"},
+	}
+	for _, s := range r.Shapes {
+		class := "neither"
+		switch {
+		case s.TUB >= 1:
+			class = "Throughput"
+		case s.FullBBW:
+			class = "BBW"
+		}
+		t.Add(s.Config.SubBlockSize, s.Config.SubBlocks, s.Config.Blocks, s.Servers, s.TUB, s.FullBBW, class)
+	}
+	t.Notes = append(t.Notes, "paper shape: non-monotonic — some larger shapes have full throughput while smaller ones do not (Fig. 8c)")
+	return t
+}

@@ -1,0 +1,220 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// ReportOptions configures Report.
+type ReportOptions struct {
+	// Markdown emits GitHub-flavored markdown instead of aligned text.
+	Markdown bool
+	// Heavy additionally runs the paper-scale demonstrations (the
+	// 131K-server wedge of Figure 2, Table 5 and Figure 10 at N=32K);
+	// several minutes of single-core compute.
+	Heavy bool
+	// Progress, when non-nil, receives one line per completed experiment.
+	Progress io.Writer
+}
+
+// Report runs every experiment with its default (laptop-scale) parameters
+// and writes the rendered tables to w. It is what `topobench report`
+// invokes and what EXPERIMENTS.md is generated from.
+func Report(w io.Writer, opt ReportOptions) error {
+	emit := func(t *Table) {
+		if opt.Markdown {
+			fmt.Fprintln(w, t.Markdown())
+		} else {
+			fmt.Fprintln(w, t.String())
+		}
+	}
+	progress := func(format string, args ...interface{}) {
+		if opt.Progress != nil {
+			fmt.Fprintf(opt.Progress, format+"\n", args...)
+		}
+	}
+	// Results reused by the final conclusions table.
+	var fig9Res *Fig9Result
+	var a2Res *FigA2Result
+	var a4Res *FigA4Result
+	var fig10Res *Fig10Result
+
+	type step struct {
+		name string
+		run  func() error
+	}
+	steps := []step{
+		{"fig7", func() error {
+			r, err := RunFig7()
+			if err != nil {
+				return err
+			}
+			emit(r.Table())
+			return nil
+		}},
+		{"tableA1", func() error {
+			r, err := RunTableA1()
+			if err != nil {
+				return err
+			}
+			emit(r.Table())
+			return nil
+		}},
+		{"table3", func() error {
+			r, err := RunTable3(DefaultTable3())
+			if err != nil {
+				return err
+			}
+			emit(r.Table())
+			return nil
+		}},
+		{"fig3", func() error {
+			for _, f := range []Family{FamilyJellyfish, FamilyXpander, FamilyFatClique} {
+				r, err := RunFig3(DefaultFig3(f))
+				if err != nil {
+					return err
+				}
+				emit(r.Table())
+			}
+			return nil
+		}},
+		{"fig4", func() error {
+			r, err := RunFig4(DefaultFig4())
+			if err != nil {
+				return err
+			}
+			emit(r.Table())
+			return nil
+		}},
+		{"fig5", func() error {
+			r, err := RunFig5(DefaultFig5())
+			if err != nil {
+				return err
+			}
+			emit(r.Table())
+			emit(r.TimeTable())
+			large, err := RunFig5(LargeFig5())
+			if err != nil {
+				return err
+			}
+			emit(large.Table())
+			emit(large.TimeTable())
+			return nil
+		}},
+		{"fig8", func() error {
+			for _, f := range []Family{FamilyJellyfish, FamilyXpander} {
+				r, err := RunFig8(DefaultFig8(f))
+				if err != nil {
+					return err
+				}
+				emit(r.Table())
+			}
+			fc, err := RunFatCliqueFrontier(32, 10, 60, 400, 1)
+			if err != nil {
+				return err
+			}
+			emit(fc.Table())
+			return nil
+		}},
+		{"fig9", func() error {
+			r, err := RunFig9(DefaultFig9())
+			if err != nil {
+				return err
+			}
+			fig9Res = r
+			emit(r.Table())
+			return nil
+		}},
+		{"figA1", func() error {
+			r, err := RunFigA1(DefaultFigA1())
+			if err != nil {
+				return err
+			}
+			emit(r.Table())
+			return nil
+		}},
+		{"figA2", func() error {
+			r, err := RunFigA2(DefaultFigA2())
+			if err != nil {
+				return err
+			}
+			a2Res = r
+			emit(r.Table())
+			return nil
+		}},
+		{"figA4", func() error {
+			r, err := RunFigA4(DefaultFigA4())
+			if err != nil {
+				return err
+			}
+			a4Res = r
+			emit(r.Table())
+			return nil
+		}},
+		{"figA5", func() error {
+			r, err := RunFigA5(DefaultFigA5())
+			if err != nil {
+				return err
+			}
+			emit(r.Table())
+			return nil
+		}},
+		{"routing", func() error {
+			r, err := RunRouting(DefaultRouting())
+			if err != nil {
+				return err
+			}
+			emit(r.Table())
+			return nil
+		}},
+		{"ablation", func() error {
+			r, err := RunAblation(DefaultAblation())
+			if err != nil {
+				return err
+			}
+			for _, tb := range r.Tables() {
+				emit(tb)
+			}
+			return nil
+		}},
+	}
+	if opt.Heavy {
+		steps = append(steps,
+			step{"table5 (N=32K)", func() error {
+				r, err := RunTable5(DefaultTable5())
+				if err != nil {
+					return err
+				}
+				emit(r.Table())
+				return nil
+			}},
+			step{"fig10 (N=32K)", func() error {
+				r, err := RunFig10(DefaultFig10())
+				if err != nil {
+					return err
+				}
+				fig10Res = r
+				emit(r.Table())
+				return nil
+			}},
+			step{"figure2 wedge (N=131K)", func() error {
+				r, err := RunWedge(DefaultWedge())
+				if err != nil {
+					return err
+				}
+				emit(r.Table())
+				return nil
+			}},
+		)
+	}
+	for _, s := range steps {
+		start := time.Now()
+		if err := s.run(); err != nil {
+			return fmt.Errorf("expt: %s: %w", s.name, err)
+		}
+		progress("%-24s %v", s.name, time.Since(start).Round(time.Millisecond))
+	}
+	emit(Conclusions(fig9Res, a2Res, a4Res, fig10Res))
+	return nil
+}

@@ -1,0 +1,126 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunWedgeSmallScale(t *testing.T) {
+	// A scaled wedge: R=16, H=5 Jellyfish past its empirical frontier
+	// (probe showed full throughput dies before ~200 servers at this
+	// radix). TUB must be < 1; whether BBW is full at this small radix is
+	// not asserted (the wedge needs large radix, demonstrated in the
+	// heavy run).
+	p := WedgeParams{Family: FamilyJellyfish, Radix: 16, Servers: 5, N: 600, Seed: 1}
+	r, err := RunWedge(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TUB >= 1 {
+		t.Fatalf("TUB = %v, want < 1 past the frontier", r.TUB)
+	}
+	if r.Eq3Limit <= 0 {
+		t.Fatal("missing Eq.3 limit")
+	}
+	tbl := r.Table().String()
+	if !strings.Contains(tbl, "CANNOT have full throughput") {
+		t.Errorf("table missing verdict:\n%s", tbl)
+	}
+}
+
+func TestRunRoutingSmall(t *testing.T) {
+	p := RoutingParams{
+		Family: FamilyJellyfish, Radix: 8, Servers: 3,
+		Switches: []int{16, 24}, K: 4, Seed: 1,
+	}
+	r, err := RunRouting(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.ECMP <= 0 || row.VLB <= 0 {
+			t.Errorf("non-positive practical throughput: %+v", row)
+		}
+		if row.ECMP > row.TUB+1e-9 || row.VLB > row.TUB+1e-9 {
+			t.Errorf("practical scheme above TUB: %+v", row)
+		}
+		if row.MCF > row.TUB+1e-7 {
+			t.Errorf("MCF above TUB: %+v", row)
+		}
+	}
+	_ = r.Table().String()
+}
+
+func TestReportLightweightSteps(t *testing.T) {
+	// Running the full Report in a unit test is too slow; instead verify
+	// the cheap steps it is built from render through the same emit path.
+	r7, err := RunFig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md := r7.Table().Markdown(); !strings.Contains(md, "Figure 7") {
+		t.Error("markdown rendering broken")
+	}
+	ra1, err := RunTableA1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md := ra1.Table().Markdown(); !strings.Contains(md, "Table A.1") {
+		t.Error("markdown rendering broken")
+	}
+}
+
+func TestRunAblationSmall(t *testing.T) {
+	p := AblationParams{Radix: 10, Servers: 4, Switches: 40, MCFSwitches: 16, K: 4, Seed: 1}
+	r, err := RunAblation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Matchers) != 3 || len(r.Backends) != 3 {
+		t.Fatalf("rows: %d matchers, %d backends", len(r.Matchers), len(r.Backends))
+	}
+	// exact == auction; greedy >= exact.
+	if r.Matchers[0].Value != r.Matchers[1].Value {
+		t.Errorf("exact %v != auction %v", r.Matchers[0].Value, r.Matchers[1].Value)
+	}
+	if r.Matchers[2].Value < r.Matchers[0].Value-1e-12 {
+		t.Errorf("greedy %v below exact %v", r.Matchers[2].Value, r.Matchers[0].Value)
+	}
+	// GK never beats the simplex optimum.
+	if r.Backends[1].Value > r.Backends[0].Value+1e-9 {
+		t.Errorf("GK %v above simplex %v", r.Backends[1].Value, r.Backends[0].Value)
+	}
+	for _, tb := range r.Tables() {
+		_ = tb.String()
+	}
+}
+
+func TestConclusionsAssembly(t *testing.T) {
+	fig9 := &Fig9Result{
+		Params:       Fig9Params{Servers: 8192},
+		Rows:         []Fig9Row{{Name: "jellyfish", SwitchesBBW: 1024, HBBW: 8, SwitchesTUB: 1171, HTUB: 7}},
+		ClosSwitches: 1280,
+	}
+	a2 := &FigA2Result{Rows: []FigA2Row{{K: 24, AdvantagePct: 4}}}
+	a4 := &FigA4Result{Rows: []FigA4Row{{H: 8, Normalized: 1}, {H: 8, Normalized: 0.787}}}
+	f10 := &Fig10Result{Deviation: map[int]float64{32768: 0.0006}}
+	tbl := Conclusions(fig9, a2, a4, f10)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(tbl.Rows))
+	}
+	s := tbl.String()
+	for _, want := range []string{"saves 20% of switches", "saves 9% of switches", "21% throughput loss", "RMS deviation"} {
+		if !containsStr(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	// Nil inputs are skipped without panicking.
+	if got := Conclusions(nil, nil, nil, nil); len(got.Rows) != 0 {
+		t.Fatalf("nil inputs should yield no rows")
+	}
+}
+
+func containsStr(s, sub string) bool { return strings.Contains(s, sub) }

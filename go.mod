@@ -1,0 +1,3 @@
+module dctopo
+
+go 1.22

@@ -1,0 +1,124 @@
+package graph
+
+// FlowNetwork is a directed network for maximum-flow computation (Dinic's
+// algorithm). Capacities are float64 so callers can scale demands freely.
+type FlowNetwork struct {
+	n    int
+	head [][]int32 // per-node arc indices
+	to   []int32
+	cp   []float64 // residual capacity
+}
+
+// NewFlowNetwork returns an empty network with n nodes.
+func NewFlowNetwork(n int) *FlowNetwork {
+	return &FlowNetwork{n: n, head: make([][]int32, n)}
+}
+
+// AddArc adds a directed arc u->v with the given capacity and returns its
+// arc index. A residual reverse arc with zero capacity is added implicitly.
+func (f *FlowNetwork) AddArc(u, v int, capacity float64) int {
+	id := len(f.to)
+	f.to = append(f.to, int32(v), int32(u))
+	f.cp = append(f.cp, capacity, 0)
+	f.head[u] = append(f.head[u], int32(id))
+	f.head[v] = append(f.head[v], int32(id+1))
+	return id
+}
+
+// AddEdge adds an undirected edge as two opposing arcs of equal capacity.
+func (f *FlowNetwork) AddEdge(u, v int, capacity float64) {
+	id := len(f.to)
+	f.to = append(f.to, int32(v), int32(u))
+	f.cp = append(f.cp, capacity, capacity)
+	f.head[u] = append(f.head[u], int32(id))
+	f.head[v] = append(f.head[v], int32(id+1))
+}
+
+const flowEps = 1e-12
+
+// MaxFlow computes the maximum s-t flow value with Dinic's algorithm.
+// The network's residual capacities are consumed; construct a fresh
+// network per computation.
+func (f *FlowNetwork) MaxFlow(s, t int) float64 {
+	level := make([]int32, f.n)
+	iter := make([]int, f.n)
+	queue := make([]int32, 0, f.n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		queue = queue[:0]
+		level[s] = 0
+		queue = append(queue, int32(s))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, id := range f.head[u] {
+				if f.cp[id] > flowEps && level[f.to[id]] < 0 {
+					level[f.to[id]] = level[u] + 1
+					queue = append(queue, f.to[id])
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(u int, limit float64) float64
+	dfs = func(u int, limit float64) float64 {
+		if u == t {
+			return limit
+		}
+		for ; iter[u] < len(f.head[u]); iter[u]++ {
+			id := f.head[u][iter[u]]
+			v := f.to[id]
+			if f.cp[id] <= flowEps || level[v] != level[u]+1 {
+				continue
+			}
+			amt := limit
+			if f.cp[id] < amt {
+				amt = f.cp[id]
+			}
+			got := dfs(int(v), amt)
+			if got > flowEps {
+				f.cp[id] -= got
+				f.cp[id^1] += got
+				return got
+			}
+		}
+		return 0
+	}
+
+	total := 0.0
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			got := dfs(s, 1e300)
+			if got <= flowEps {
+				break
+			}
+			total += got
+		}
+	}
+	return total
+}
+
+// MinCutSide returns, after MaxFlow has run, the set of nodes reachable
+// from s in the residual network (the s-side of a minimum cut).
+func (f *FlowNetwork) MinCutSide(s int) []bool {
+	side := make([]bool, f.n)
+	queue := []int32{int32(s)}
+	side[s] = true
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, id := range f.head[u] {
+			v := f.to[id]
+			if f.cp[id] > flowEps && !side[v] {
+				side[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return side
+}

@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMaxFlowSimple(t *testing.T) {
+	// Classic CLRS example.
+	f := NewFlowNetwork(6)
+	f.AddArc(0, 1, 16)
+	f.AddArc(0, 2, 13)
+	f.AddArc(1, 2, 10)
+	f.AddArc(2, 1, 4)
+	f.AddArc(1, 3, 12)
+	f.AddArc(3, 2, 9)
+	f.AddArc(2, 4, 14)
+	f.AddArc(4, 3, 7)
+	f.AddArc(3, 5, 20)
+	f.AddArc(4, 5, 4)
+	if got := f.MaxFlow(0, 5); math.Abs(got-23) > 1e-9 {
+		t.Fatalf("MaxFlow = %v, want 23", got)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	f := NewFlowNetwork(4)
+	f.AddArc(0, 1, 5)
+	f.AddArc(2, 3, 5)
+	if got := f.MaxFlow(0, 3); got != 0 {
+		t.Fatalf("MaxFlow = %v, want 0", got)
+	}
+}
+
+func TestMaxFlowUndirectedRing(t *testing.T) {
+	// Unit-capacity undirected ring: two edge-disjoint paths between any
+	// pair, so max flow = 2.
+	f := NewFlowNetwork(8)
+	for i := 0; i < 8; i++ {
+		f.AddEdge(i, (i+1)%8, 1)
+	}
+	if got := f.MaxFlow(0, 4); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("MaxFlow = %v, want 2", got)
+	}
+}
+
+func TestMaxFlowParallelArcs(t *testing.T) {
+	f := NewFlowNetwork(2)
+	f.AddArc(0, 1, 1.5)
+	f.AddArc(0, 1, 2.5)
+	if got := f.MaxFlow(0, 1); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("MaxFlow = %v, want 4", got)
+	}
+}
+
+func TestMinCutSide(t *testing.T) {
+	// Bottleneck edge (1,2): cut should separate {0,1} from {2,3}.
+	f := NewFlowNetwork(4)
+	f.AddArc(0, 1, 10)
+	f.AddArc(1, 2, 1)
+	f.AddArc(2, 3, 10)
+	if got := f.MaxFlow(0, 3); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("MaxFlow = %v, want 1", got)
+	}
+	side := f.MinCutSide(0)
+	want := []bool{true, true, false, false}
+	for i := range want {
+		if side[i] != want[i] {
+			t.Fatalf("MinCutSide = %v, want %v", side, want)
+		}
+	}
+}
+
+func TestMaxFlowEqualsEdgeConnectivityOnCompleteGraph(t *testing.T) {
+	// K5 with unit undirected capacities: max flow between any pair = 4.
+	f := NewFlowNetwork(5)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			f.AddEdge(i, j, 1)
+		}
+	}
+	if got := f.MaxFlow(0, 4); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("MaxFlow = %v, want 4", got)
+	}
+}
+
+func BenchmarkMaxFlow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := randomConnected(500, 2000, uint64(i))
+		f := NewFlowNetwork(g.N())
+		g.Edges(func(u, v, c int) { f.AddEdge(u, v, float64(c)) })
+		b.StartTimer()
+		_ = f.MaxFlow(0, g.N()-1)
+	}
+}

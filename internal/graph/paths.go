@@ -1,0 +1,256 @@
+package graph
+
+import (
+	"container/heap"
+)
+
+// Path is a node sequence; Path[0] is the source, Path[len-1] the
+// destination. Hop length is len(Path)-1.
+type Path []int32
+
+// Len returns the hop length of the path.
+func (p Path) Len() int { return len(p) - 1 }
+
+func (p Path) equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// shortestPathMasked runs BFS from src to dst ignoring masked nodes and
+// directed masked edges, returning nil if no path exists.
+func (g *Graph) shortestPathMasked(src, dst int, nodeMasked []bool, edgeMasked map[[2]int32]bool) Path {
+	prev := make([]int32, g.n)
+	for i := range prev {
+		prev[i] = -2 // unvisited
+	}
+	queue := make([]int32, 0, g.n)
+	prev[src] = -1
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		if int(u) == dst {
+			break
+		}
+		for i := g.off[u]; i < g.off[u+1]; i++ {
+			v := g.adj[i]
+			if prev[v] != -2 || nodeMasked[v] {
+				continue
+			}
+			if edgeMasked != nil && edgeMasked[[2]int32{u, v}] {
+				continue
+			}
+			prev[v] = u
+			queue = append(queue, v)
+		}
+	}
+	if prev[dst] == -2 {
+		return nil
+	}
+	var rev Path
+	for v := int32(dst); v != -1; v = prev[v] {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// ShortestPath returns one shortest path from src to dst, or nil if
+// unreachable.
+func (g *Graph) ShortestPath(src, dst int) Path {
+	return g.shortestPathMasked(src, dst, make([]bool, g.n), nil)
+}
+
+type candHeap []Path
+
+func (h candHeap) Len() int            { return len(h) }
+func (h candHeap) Less(i, j int) bool  { return pathLess(h[i], h[j]) }
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(Path)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	*h = old[:n-1]
+	return p
+}
+
+// pathLess orders by hop length, then lexicographically for determinism.
+func pathLess(a, b Path) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// KShortestPaths returns up to k loopless shortest paths from src to dst in
+// non-decreasing hop length (Yen's algorithm). It returns fewer than k
+// paths when the graph does not contain that many simple paths.
+func (g *Graph) KShortestPaths(src, dst, k int) []Path {
+	if src == dst || k <= 0 {
+		return nil
+	}
+	nodeMasked := make([]bool, g.n)
+	first := g.shortestPathMasked(src, dst, nodeMasked, nil)
+	if first == nil {
+		return nil
+	}
+	result := []Path{first}
+	var cands candHeap
+	seen := map[string]bool{pathKey(first): true}
+
+	for len(result) < k {
+		prevPath := result[len(result)-1]
+		for i := 0; i < len(prevPath)-1; i++ {
+			spur := prevPath[i]
+			root := prevPath[:i+1]
+			edgeMasked := make(map[[2]int32]bool)
+			for _, p := range result {
+				if len(p) > i && Path(p[:i+1]).equal(root) {
+					edgeMasked[[2]int32{p[i], p[i+1]}] = true
+				}
+			}
+			for _, v := range root[:len(root)-1] {
+				nodeMasked[v] = true
+			}
+			spurPath := g.shortestPathMasked(int(spur), dst, nodeMasked, edgeMasked)
+			for _, v := range root[:len(root)-1] {
+				nodeMasked[v] = false
+			}
+			if spurPath == nil {
+				continue
+			}
+			total := make(Path, 0, i+len(spurPath))
+			total = append(total, root[:len(root)-1]...)
+			total = append(total, spurPath...)
+			key := pathKey(total)
+			if !seen[key] {
+				seen[key] = true
+				heap.Push(&cands, total)
+			}
+		}
+		if cands.Len() == 0 {
+			break
+		}
+		result = append(result, heap.Pop(&cands).(Path))
+	}
+	return result
+}
+
+func pathKey(p Path) string {
+	b := make([]byte, 0, len(p)*3)
+	for _, v := range p {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16))
+	}
+	return string(b)
+}
+
+// PathsWithin enumerates simple paths from src to dst whose hop length is
+// at most shortest+slack, stopping after limit paths (limit <= 0 means no
+// cap). Paths are produced in DFS order; the caller should not rely on
+// ordering beyond "all lengths within the bound".
+func (g *Graph) PathsWithin(src, dst, slack, limit int) []Path {
+	if src == dst {
+		return nil
+	}
+	toDst := g.BFS(dst, nil)
+	if toDst[src] == Unreachable {
+		return nil
+	}
+	maxLen := int(toDst[src]) + slack
+	var out []Path
+	onPath := make([]bool, g.n)
+	cur := make(Path, 0, maxLen+1)
+	var dfs func(u int32, length int) bool
+	dfs = func(u int32, length int) bool {
+		cur = append(cur, u)
+		onPath[u] = true
+		defer func() {
+			cur = cur[:len(cur)-1]
+			onPath[u] = false
+		}()
+		if int(u) == dst {
+			p := make(Path, len(cur))
+			copy(p, cur)
+			out = append(out, p)
+			return limit > 0 && len(out) >= limit
+		}
+		for i := g.off[u]; i < g.off[u+1]; i++ {
+			v := g.adj[i]
+			if onPath[v] || toDst[v] == Unreachable {
+				continue
+			}
+			if length+1+int(toDst[v]) > maxLen {
+				continue
+			}
+			if dfs(v, length+1) {
+				return true
+			}
+		}
+		return false
+	}
+	dfs(int32(src), 0)
+	return out
+}
+
+// CountShortestPaths returns the number of distinct shortest paths between
+// src and dst, capped at cap (0 means no cap), using BFS DAG dynamic
+// programming. Multiplicity of link bundles is ignored: paths are node
+// sequences.
+func (g *Graph) CountShortestPaths(src, dst int, capCount int) int {
+	dist := g.BFS(src, nil)
+	if dist[dst] == Unreachable {
+		return 0
+	}
+	// Process nodes in BFS order; count[v] = sum of count[u] over
+	// predecessors u with dist[u]+1 == dist[v].
+	order := make([]int32, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if dist[v] != Unreachable {
+			order = append(order, int32(v))
+		}
+	}
+	// counting sort by distance
+	maxD := int32(0)
+	for _, v := range order {
+		if dist[v] > maxD {
+			maxD = dist[v]
+		}
+	}
+	buckets := make([][]int32, maxD+1)
+	for _, v := range order {
+		buckets[dist[v]] = append(buckets[dist[v]], v)
+	}
+	count := make([]int, g.n)
+	count[src] = 1
+	for d := int32(1); d <= maxD; d++ {
+		for _, v := range buckets[d] {
+			c := 0
+			for i := g.off[v]; i < g.off[v+1]; i++ {
+				u := g.adj[i]
+				if dist[u] == d-1 {
+					c += count[u]
+					if capCount > 0 && c >= capCount {
+						c = capCount
+						break
+					}
+				}
+			}
+			count[v] = c
+		}
+	}
+	return count[dst]
+}

@@ -1,0 +1,250 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"dctopo/internal/rng"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v", what, got, want)
+	}
+}
+
+func TestBasicLE(t *testing.T) {
+	// max 3x + 5y ; x <= 4, 2y <= 12, 3x + 2y <= 18  (classic; opt 36 at (2,6))
+	p := NewProblem(2)
+	p.SetObjective(0, 3)
+	p.SetObjective(1, 5)
+	p.AddConstraint([]Term{{0, 1}}, LE, 4)
+	p.AddConstraint([]Term{{1, 2}}, LE, 12)
+	p.AddConstraint([]Term{{0, 3}, {1, 2}}, LE, 18)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, s.Obj, 36, 1e-7, "obj")
+	approx(t, s.X[0], 2, 1e-7, "x")
+	approx(t, s.X[1], 6, 1e-7, "y")
+}
+
+func TestEquality(t *testing.T) {
+	// max x + y ; x + y = 5, x <= 3 → obj 5.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 5)
+	p.AddConstraint([]Term{{0, 1}}, LE, 3)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, s.Obj, 5, 1e-7, "obj")
+}
+
+func TestGE(t *testing.T) {
+	// max -x (i.e. min x) ; x >= 7 → obj -7.
+	p := NewProblem(1)
+	p.SetObjective(0, -1)
+	p.AddConstraint([]Term{{0, 1}}, GE, 7)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, s.Obj, -7, 1e-7, "obj")
+	approx(t, s.X[0], 7, 1e-7, "x")
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]Term{{0, 1}}, LE, 1)
+	p.AddConstraint([]Term{{0, 1}}, GE, 2)
+	if _, err := p.Solve(); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]Term{{1, 1}}, LE, 1)
+	if _, err := p.Solve(); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// max x ; -x <= -2 (i.e. x >= 2), x <= 5 → obj 5; also checks row flip.
+	p := NewProblem(1)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]Term{{0, -1}}, LE, -2)
+	p.AddConstraint([]Term{{0, 1}}, LE, 5)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, s.Obj, 5, 1e-7, "obj")
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Duplicate equality rows must not break phase 1.
+	p := NewProblem(2)
+	p.SetObjective(0, 2)
+	p.SetObjective(1, 1)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 4)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 4)
+	p.AddConstraint([]Term{{0, 1}}, LE, 3)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, s.Obj, 7, 1e-7, "obj") // x=3, y=1
+}
+
+func TestDegeneratePivoting(t *testing.T) {
+	// Beale's classic cycling example; Bland fallback must terminate.
+	p := NewProblem(4)
+	p.SetObjective(0, 0.75)
+	p.SetObjective(1, -150)
+	p.SetObjective(2, 0.02)
+	p.SetObjective(3, -6)
+	p.AddConstraint([]Term{{0, 0.25}, {1, -60}, {2, -0.04}, {3, 9}}, LE, 0)
+	p.AddConstraint([]Term{{0, 0.5}, {1, -90}, {2, -0.02}, {3, 3}}, LE, 0)
+	p.AddConstraint([]Term{{2, 1}}, LE, 1)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, s.Obj, 0.05, 1e-6, "obj")
+}
+
+func TestZeroObjectiveFeasibility(t *testing.T) {
+	p := NewProblem(2)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 3)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, s.X[0]+s.X[1], 3, 1e-7, "x+y")
+}
+
+func TestDuplicateTermsAccumulate(t *testing.T) {
+	// x + x <= 4 should behave as 2x <= 4.
+	p := NewProblem(1)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]Term{{0, 1}, {0, 1}}, LE, 4)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, s.Obj, 2, 1e-7, "obj")
+}
+
+func TestBadVariableIndex(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint([]Term{{3, 1}}, LE, 1)
+	if _, err := p.Solve(); err == nil {
+		t.Fatal("expected error for out-of-range variable")
+	}
+}
+
+// TestRandomAgainstBruteForce cross-checks 2-variable LPs against vertex
+// enumeration of the feasible polygon.
+func TestRandomAgainstBruteForce(t *testing.T) {
+	r := rng.New(12345)
+	for trial := 0; trial < 200; trial++ {
+		nc := 2 + r.Intn(4)
+		type cons struct{ a, b, rhs float64 }
+		cs := make([]cons, nc)
+		for i := range cs {
+			cs[i] = cons{float64(r.Intn(9) - 4), float64(r.Intn(9) - 4), float64(r.Intn(10) + 1)}
+		}
+		// Bound the region so it is never unbounded.
+		cs = append(cs, cons{1, 0, 50}, cons{0, 1, 50})
+		cx, cy := float64(r.Intn(7)-3), float64(r.Intn(7)-3)
+
+		p := NewProblem(2)
+		p.SetObjective(0, cx)
+		p.SetObjective(1, cy)
+		for _, c := range cs {
+			p.AddConstraint([]Term{{0, c.a}, {1, c.b}}, LE, c.rhs)
+		}
+		s, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Brute force: evaluate all intersection vertices (including axes).
+		feasible := func(x, y float64) bool {
+			if x < -1e-7 || y < -1e-7 {
+				return false
+			}
+			for _, c := range cs {
+				if c.a*x+c.b*y > c.rhs+1e-7 {
+					return false
+				}
+			}
+			return true
+		}
+		best := math.Inf(-1)
+		lines := append([]cons{{1, 0, 0}, {0, 1, 0}}, cs...)
+		for i := 0; i < len(lines); i++ {
+			for j := i + 1; j < len(lines); j++ {
+				a1, b1, r1 := lines[i].a, lines[i].b, lines[i].rhs
+				a2, b2, r2 := lines[j].a, lines[j].b, lines[j].rhs
+				det := a1*b2 - a2*b1
+				if math.Abs(det) < 1e-12 {
+					continue
+				}
+				x := (r1*b2 - r2*b1) / det
+				y := (a1*r2 - a2*r1) / det
+				if feasible(x, y) {
+					if v := cx*x + cy*y; v > best {
+						best = v
+					}
+				}
+			}
+		}
+		if feasible(0, 0) && best < 0 {
+			best = 0
+		}
+		if math.IsInf(best, -1) {
+			continue // region empty except possibly origin; skip
+		}
+		if math.Abs(s.Obj-best) > 1e-5 {
+			t.Fatalf("trial %d: simplex %v vs brute force %v", trial, s.Obj, best)
+		}
+	}
+}
+
+func BenchmarkSolveMedium(b *testing.B) {
+	// A transportation-style LP with ~200 vars, ~60 constraints.
+	r := rng.New(9)
+	const src, dst = 12, 16
+	for i := 0; i < b.N; i++ {
+		p := NewProblem(src * dst)
+		for s := 0; s < src; s++ {
+			terms := make([]Term, dst)
+			for d := 0; d < dst; d++ {
+				v := s*dst + d
+				terms[d] = Term{v, 1}
+				p.SetObjective(v, float64(1+r.Intn(5)))
+			}
+			p.AddConstraint(terms, LE, 10)
+		}
+		for d := 0; d < dst; d++ {
+			terms := make([]Term, src)
+			for s := 0; s < src; s++ {
+				terms[s] = Term{s*dst + d, 1}
+			}
+			p.AddConstraint(terms, LE, 8)
+		}
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

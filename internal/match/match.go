@@ -1,0 +1,226 @@
+// Package match implements maximum-weight perfect matching in complete
+// bipartite graphs, the combinatorial core of the paper's "maximal
+// permutation" traffic matrix (§2.2): the permutation that maximizes total
+// shortest-path length determines the throughput upper bound.
+//
+// Three algorithms are provided:
+//
+//   - Exact: the Jonker–Volgenant shortest-augmenting-path algorithm with
+//     dual potentials (the same family as the Hungarian method the paper
+//     uses via igraph), O(n³) worst case but fast on the small-integer
+//     weights that arise from hop distances.
+//   - Auction: Bertsekas' ε-scaling auction algorithm, exact for integer
+//     weights once ε < 1/n, typically much faster at large n.
+//   - Greedy: the paper's Algorithm 1 (farthest-pair pairing), a heuristic
+//     used in the proof of Theorem 4.1 and as a fast approximation.
+//
+// Weights are supplied through a callback so callers can derive them from
+// a compact distance matrix without materializing an n×n int64 matrix.
+package match
+
+// WeightFunc returns the weight of assigning row i to column j. It must be
+// non-negative for Auction and Greedy; Exact accepts any int64.
+type WeightFunc func(i, j int) int64
+
+// Result is a perfect matching: Col[i] is the column assigned to row i,
+// Row[j] the row assigned to column j, and Total the summed weight.
+type Result struct {
+	Col   []int
+	Row   []int
+	Total int64
+}
+
+// Exact computes a maximum-weight perfect matching on the complete n×n
+// bipartite graph using the Jonker–Volgenant algorithm. n must be >= 1.
+func Exact(n int, w WeightFunc) *Result {
+	const inf = int64(1) << 62
+	// Minimize cost = -w with the e-maxx JV formulation (1-indexed).
+	u := make([]int64, n+1)
+	v := make([]int64, n+1)
+	p := make([]int, n+1)   // p[j]: row matched to column j (0 = none)
+	way := make([]int, n+1) // predecessor column on alternating path
+	minv := make([]int64, n+1)
+	used := make([]bool, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+			used[j] = false
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := -w(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	res := &Result{Col: make([]int, n), Row: make([]int, n)}
+	for j := 1; j <= n; j++ {
+		res.Col[p[j]-1] = j - 1
+		res.Row[j-1] = p[j] - 1
+	}
+	for i := 0; i < n; i++ {
+		res.Total += w(i, res.Col[i])
+	}
+	return res
+}
+
+// Auction computes a maximum-weight perfect matching via Bertsekas'
+// ε-scaling auction algorithm. Weights must be non-negative integers. The
+// result is exact (weights are internally scaled by n+1 so the final
+// ε = 1 certifies optimality).
+func Auction(n int, w WeightFunc) *Result {
+	scale := int64(n + 1)
+	price := make([]int64, n)
+	owner := make([]int, n) // column -> row, -1 if free
+	assign := make([]int, n)
+	for j := range owner {
+		owner[j] = -1
+	}
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	maxW := int64(0)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if ww := w(i, j) * scale; ww > maxW {
+				maxW = ww
+			}
+		}
+	}
+	epsStart := maxW / 2
+	if epsStart < 1 {
+		epsStart = 1
+	}
+
+	free := make([]int, 0, n)
+	for eps := epsStart; ; eps /= 4 {
+		if eps < 1 {
+			eps = 1
+		}
+		// Unassign everything at the start of each scaling phase.
+		for j := range owner {
+			owner[j] = -1
+		}
+		for i := range assign {
+			assign[i] = -1
+		}
+		free = free[:0]
+		for i := 0; i < n; i++ {
+			free = append(free, i)
+		}
+		for len(free) > 0 {
+			i := free[len(free)-1]
+			free = free[:len(free)-1]
+			// Find best and second-best object for bidder i.
+			bestJ, bestV, secondV := -1, int64(-1)<<62, int64(-1)<<62
+			for j := 0; j < n; j++ {
+				v := w(i, j)*scale - price[j]
+				if v > bestV {
+					secondV = bestV
+					bestV = v
+					bestJ = j
+				} else if v > secondV {
+					secondV = v
+				}
+			}
+			if secondV < bestV-maxW { // n == 1: no second candidate
+				secondV = bestV
+			}
+			bid := bestV - secondV + eps
+			price[bestJ] += bid
+			if prev := owner[bestJ]; prev >= 0 {
+				assign[prev] = -1
+				free = append(free, prev)
+			}
+			owner[bestJ] = i
+			assign[i] = bestJ
+		}
+		if eps == 1 {
+			break
+		}
+	}
+
+	res := &Result{Col: assign, Row: owner}
+	for i := 0; i < n; i++ {
+		res.Total += w(i, res.Col[i])
+	}
+	return res
+}
+
+// Greedy implements the paper's Algorithm 1: scan rows in order, pairing
+// each unpicked node u with the unpicked node v (v != u) of maximum weight,
+// symmetrically (Col[u] = v and Col[v] = u). With an odd count the last
+// node maps to itself. The weight function is assumed symmetric, as hop
+// distances are. Total counts each directed entry, matching the
+// denominator of Equation (1).
+func Greedy(n int, w WeightFunc) *Result {
+	res := &Result{Col: make([]int, n), Row: make([]int, n)}
+	picked := make([]bool, n)
+	for i := range res.Col {
+		res.Col[i] = -1
+	}
+	for u := 0; u < n; u++ {
+		if picked[u] {
+			continue
+		}
+		bestV, bestW := -1, int64(-1)
+		for v := 0; v < n; v++ {
+			if v == u || picked[v] {
+				continue
+			}
+			if ww := w(u, v); ww > bestW {
+				bestW = ww
+				bestV = v
+			}
+		}
+		picked[u] = true
+		if bestV < 0 { // odd leftover: fixed point
+			res.Col[u] = u
+			continue
+		}
+		picked[bestV] = true
+		res.Col[u] = bestV
+		res.Col[bestV] = u
+		res.Total += w(u, bestV) + w(bestV, u)
+	}
+	for i, j := range res.Col {
+		res.Row[j] = i
+	}
+	return res
+}

@@ -1,0 +1,222 @@
+package match
+
+import (
+	"testing"
+
+	"dctopo/internal/rng"
+)
+
+// bruteForce enumerates all permutations (n <= 8) for ground truth.
+func bruteForce(n int, w WeightFunc) int64 {
+	perm := make([]int, n)
+	used := make([]bool, n)
+	best := int64(-1) << 62
+	var rec func(i int, acc int64)
+	rec = func(i int, acc int64) {
+		if i == n {
+			if acc > best {
+				best = acc
+			}
+			return
+		}
+		for j := 0; j < n; j++ {
+			if !used[j] {
+				used[j] = true
+				perm[i] = j
+				rec(i+1, acc+w(i, j))
+				used[j] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func randomMatrix(n int, maxW int, seed uint64) [][]int64 {
+	r := rng.New(seed)
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+		for j := range m[i] {
+			m[i][j] = int64(r.Intn(maxW + 1))
+		}
+	}
+	return m
+}
+
+func symmetricMatrix(n int, maxW int, seed uint64) [][]int64 {
+	m := randomMatrix(n, maxW, seed)
+	for i := 0; i < n; i++ {
+		m[i][i] = 0
+		for j := i + 1; j < n; j++ {
+			m[j][i] = m[i][j]
+		}
+	}
+	return m
+}
+
+func fn(m [][]int64) WeightFunc {
+	return func(i, j int) int64 { return m[i][j] }
+}
+
+func validPerm(t *testing.T, r *Result, n int) {
+	t.Helper()
+	seen := make([]bool, n)
+	for i, j := range r.Col {
+		if j < 0 || j >= n || seen[j] {
+			t.Fatalf("Col is not a permutation: %v", r.Col)
+		}
+		seen[j] = true
+		if r.Row[j] != i {
+			t.Fatalf("Row inverse inconsistent at %d", i)
+		}
+	}
+}
+
+func TestExactAgainstBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		n := 2 + int(seed%6)
+		m := randomMatrix(n, 9, seed)
+		got := Exact(n, fn(m))
+		validPerm(t, got, n)
+		want := bruteForce(n, fn(m))
+		if got.Total != want {
+			t.Fatalf("seed %d n %d: Exact %d, brute %d", seed, n, got.Total, want)
+		}
+	}
+}
+
+func TestAuctionAgainstBruteForce(t *testing.T) {
+	for seed := uint64(100); seed < 140; seed++ {
+		n := 2 + int(seed%6)
+		m := randomMatrix(n, 9, seed)
+		got := Auction(n, fn(m))
+		validPerm(t, got, n)
+		want := bruteForce(n, fn(m))
+		if got.Total != want {
+			t.Fatalf("seed %d n %d: Auction %d, brute %d", seed, n, got.Total, want)
+		}
+	}
+}
+
+func TestAuctionMatchesExactMedium(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		n := 40 + int(seed)*17
+		m := randomMatrix(n, 12, seed)
+		e := Exact(n, fn(m))
+		a := Auction(n, fn(m))
+		validPerm(t, a, n)
+		if e.Total != a.Total {
+			t.Fatalf("seed %d n %d: Exact %d, Auction %d", seed, n, e.Total, a.Total)
+		}
+	}
+}
+
+func TestGreedyValidAndNearOptimal(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		n := 10 + int(seed)*7
+		m := symmetricMatrix(n, 8, seed)
+		g := Greedy(n, fn(m))
+		validPerm(t, g, n)
+		e := Exact(n, fn(m))
+		if g.Total > e.Total {
+			t.Fatalf("greedy beats exact: %d > %d", g.Total, e.Total)
+		}
+		// The farthest-pair greedy on symmetric weights is a 1/2
+		// approximation in the worst case; check a loose bound.
+		if 2*g.Total < e.Total {
+			t.Fatalf("greedy below half of optimal: %d vs %d", g.Total, e.Total)
+		}
+	}
+}
+
+func TestGreedySymmetricPairing(t *testing.T) {
+	m := symmetricMatrix(12, 10, 3)
+	g := Greedy(12, fn(m))
+	for u, v := range g.Col {
+		if g.Col[v] != u {
+			t.Fatalf("pairing not symmetric: Col[%d]=%d but Col[%d]=%d", u, v, v, g.Col[v])
+		}
+	}
+}
+
+func TestGreedyOddCount(t *testing.T) {
+	m := symmetricMatrix(7, 5, 1)
+	g := Greedy(7, fn(m))
+	validPerm(t, g, 7)
+	fixed := 0
+	for u, v := range g.Col {
+		if u == v {
+			fixed++
+		}
+	}
+	if fixed != 1 {
+		t.Fatalf("odd n should leave exactly one fixed point, got %d", fixed)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	w := func(i, j int) int64 { return 5 }
+	for _, r := range []*Result{Exact(1, w), Auction(1, w), Greedy(1, w)} {
+		if r.Col[0] != 0 {
+			t.Fatal("n=1 must self-assign")
+		}
+	}
+}
+
+func TestUniformWeights(t *testing.T) {
+	w := func(i, j int) int64 { return 3 }
+	n := 9
+	if e := Exact(n, w); e.Total != int64(3*n) {
+		t.Fatalf("Exact uniform total %d", e.Total)
+	}
+	if a := Auction(n, w); a.Total != int64(3*n) {
+		t.Fatalf("Auction uniform total %d", a.Total)
+	}
+}
+
+func TestZeroWeights(t *testing.T) {
+	w := func(i, j int) int64 { return 0 }
+	if a := Auction(6, w); a.Total != 0 {
+		t.Fatalf("Auction zero total %d", a.Total)
+	}
+	validPerm(t, Auction(6, w), 6)
+}
+
+// Distance-like weights: small integer range, zero diagonal — the shape
+// TUB actually feeds the matcher.
+func TestDistanceShapedWeights(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		n := 30
+		m := symmetricMatrix(n, 6, seed) // distances 0..6
+		e := Exact(n, fn(m))
+		a := Auction(n, fn(m))
+		if e.Total != a.Total {
+			t.Fatalf("seed %d: exact %d vs auction %d", seed, e.Total, a.Total)
+		}
+	}
+}
+
+func BenchmarkExact200(b *testing.B) {
+	m := randomMatrix(200, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Exact(200, fn(m))
+	}
+}
+
+func BenchmarkAuction200(b *testing.B) {
+	m := randomMatrix(200, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Auction(200, fn(m))
+	}
+}
+
+func BenchmarkGreedy200(b *testing.B) {
+	m := symmetricMatrix(200, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Greedy(200, fn(m))
+	}
+}

@@ -1,0 +1,401 @@
+// Package part implements multilevel balanced graph bisection in the style
+// of METIS [Karypis & Kumar 1998], which the paper uses to (over)estimate
+// bisection bandwidth: heavy-edge-matching coarsening, greedy region-growing
+// initial partitions, and Fiduccia–Mattheyses (FM) boundary refinement with
+// hill-climbing rollback.
+//
+// Because exact bisection is NP-hard, the returned cut is an upper bound on
+// the true minimum balanced cut — exactly the role the METIS estimate plays
+// in the paper ("we use METIS to (over) estimate bisection bandwidth").
+package part
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"dctopo/internal/graph"
+	"dctopo/internal/rng"
+)
+
+// Options configures Bisect. The zero value selects sensible defaults.
+type Options struct {
+	// Seed makes the bisection deterministic.
+	Seed uint64
+	// Tries is the number of initial partitions grown per coarsest graph
+	// (best is kept). Default 8.
+	Tries int
+	// MaxImbalance is the allowed deviation of each side's node weight
+	// from exactly half, as a fraction of total weight. Default 0.02.
+	MaxImbalance float64
+	// Passes is the number of FM refinement passes per level. Default 6.
+	Passes int
+}
+
+func (o *Options) fill() {
+	if o.Tries <= 0 {
+		o.Tries = 8
+	}
+	if o.MaxImbalance <= 0 {
+		o.MaxImbalance = 0.02
+	}
+	if o.Passes <= 0 {
+		o.Passes = 6
+	}
+}
+
+// Result is a balanced bisection of a graph.
+type Result struct {
+	// Side[v] is true if node v is in partition B.
+	Side []bool
+	// Cut is the total capacity of edges crossing the partition.
+	Cut int
+	// WeightA and WeightB are the node-weight totals of the two sides.
+	WeightA, WeightB int
+}
+
+// edgew is a weighted adjacency entry. Adjacency is kept as sorted
+// slices, not maps, so every pass iterates in a fixed order and the whole
+// bisection is bit-reproducible for a given seed.
+type edgew struct {
+	v int32
+	w int64
+}
+
+// level is a working (mutable) weighted graph for the multilevel scheme.
+type level struct {
+	nw   []int64   // node weights
+	adj  [][]edgew // adjacency with edge weights, sorted by neighbor id
+	fine []int32   // map from finer-level node to this level's node
+}
+
+func levelFromGraph(g *graph.Graph, nodeWeight []int) *level {
+	n := g.N()
+	l := &level{nw: make([]int64, n), adj: make([][]edgew, n)}
+	for v := 0; v < n; v++ {
+		l.nw[v] = int64(nodeWeight[v])
+	}
+	g.Edges(func(u, v, c int) {
+		l.adj[u] = append(l.adj[u], edgew{int32(v), int64(c)})
+		l.adj[v] = append(l.adj[v], edgew{int32(u), int64(c)})
+	})
+	for u := range l.adj {
+		sortAdj(l.adj[u])
+	}
+	return l
+}
+
+// sortAdj sorts an adjacency slice by neighbor id (insertion sort: the
+// slices come nearly sorted from Graph.Edges' ordered iteration).
+func sortAdj(a []edgew) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j].v < a[j-1].v; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// coarsen contracts a heavy-edge matching, returning the coarse level, or
+// nil if coarsening made no progress.
+func (l *level) coarsen(r *rng.RNG) *level {
+	n := len(l.nw)
+	matchTo := make([]int32, n)
+	for i := range matchTo {
+		matchTo[i] = -1
+	}
+	order := r.Perm(n)
+	for _, u := range order {
+		if matchTo[u] != -1 {
+			continue
+		}
+		var best int32 = -1
+		var bestW int64 = -1
+		for _, e := range l.adj[u] {
+			if matchTo[e.v] == -1 && e.w > bestW {
+				bestW = e.w
+				best = e.v
+			}
+		}
+		if best >= 0 {
+			matchTo[u] = best
+			matchTo[best] = int32(u)
+		} else {
+			matchTo[u] = int32(u)
+		}
+	}
+	coarseID := make([]int32, n)
+	for i := range coarseID {
+		coarseID[i] = -1
+	}
+	next := int32(0)
+	for u := 0; u < n; u++ {
+		if coarseID[u] != -1 {
+			continue
+		}
+		coarseID[u] = next
+		if m := matchTo[u]; int(m) != u {
+			coarseID[m] = next
+		}
+		next++
+	}
+	if int(next) >= n { // no contraction happened
+		return nil
+	}
+	c := &level{
+		nw:   make([]int64, next),
+		adj:  make([][]edgew, next),
+		fine: coarseID,
+	}
+	acc := make(map[int64]int64) // (cu<<32|cv) -> weight, cu < cv
+	var keys []int64
+	for u := 0; u < n; u++ {
+		cu := coarseID[u]
+		c.nw[cu] += l.nw[u]
+		for _, e := range l.adj[u] {
+			cv := coarseID[e.v]
+			if cu != cv && int(e.v) > u {
+				a, b := cu, cv
+				if a > b {
+					a, b = b, a
+				}
+				k := int64(a)<<32 | int64(b)
+				if _, ok := acc[k]; !ok {
+					keys = append(keys, k)
+				}
+				acc[k] += e.w
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		a, b := int32(k>>32), int32(k&0xffffffff)
+		w := acc[k]
+		c.adj[a] = append(c.adj[a], edgew{b, w})
+		c.adj[b] = append(c.adj[b], edgew{a, w})
+	}
+	for u := range c.adj {
+		sortAdj(c.adj[u])
+	}
+	return c
+}
+
+// growPartition grows side A from a random seed node until it holds about
+// half the node weight, returning the side assignment.
+func (l *level) growPartition(r *rng.RNG, total int64) []bool {
+	n := len(l.nw)
+	side := make([]bool, n)
+	for i := range side {
+		side[i] = true // everything starts in B
+	}
+	start := r.Intn(n)
+	var wA int64
+	queue := []int32{int32(start)}
+	visited := make([]bool, n)
+	visited[start] = true
+	for head := 0; head < len(queue) && wA*2 < total; head++ {
+		u := queue[head]
+		side[u] = false
+		wA += l.nw[u]
+		for _, e := range l.adj[u] {
+			if !visited[e.v] {
+				visited[e.v] = true
+				queue = append(queue, e.v)
+			}
+		}
+	}
+	// If BFS exhausted a small component, add arbitrary nodes.
+	for u := 0; u < n && wA*2 < total; u++ {
+		if side[u] {
+			side[u] = false
+			wA += l.nw[u]
+		}
+	}
+	return side
+}
+
+func (l *level) cutOf(side []bool) int64 {
+	var cut int64
+	for u := range l.adj {
+		for _, e := range l.adj[u] {
+			if int(e.v) > u && side[u] != side[e.v] {
+				cut += e.w
+			}
+		}
+	}
+	return cut
+}
+
+// gainItem is a heap entry for FM refinement (lazy invalidation).
+type gainItem struct {
+	node int32
+	gain int64
+	ver  int32
+}
+
+type gainHeap []gainItem
+
+func (h gainHeap) Len() int            { return len(h) }
+func (h gainHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(gainItem)) }
+func (h *gainHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// refine runs FM passes on side in place.
+func (l *level) refine(side []bool, total int64, opt Options) {
+	n := len(l.nw)
+	minSide := int64(math.Floor(float64(total) * (0.5 - opt.MaxImbalance)))
+	gain := make([]int64, n)
+	ver := make([]int32, n)
+	locked := make([]bool, n)
+
+	computeGain := func(u int) int64 {
+		var ext, internal int64
+		for _, e := range l.adj[u] {
+			if side[e.v] != side[u] {
+				ext += e.w
+			} else {
+				internal += e.w
+			}
+		}
+		return ext - internal
+	}
+
+	for pass := 0; pass < opt.Passes; pass++ {
+		var wA int64
+		for u := 0; u < n; u++ {
+			if !side[u] {
+				wA += l.nw[u]
+			}
+		}
+		h := make(gainHeap, 0, n)
+		for u := 0; u < n; u++ {
+			locked[u] = false
+			gain[u] = computeGain(u)
+			ver[u]++
+			h = append(h, gainItem{int32(u), gain[u], ver[u]})
+		}
+		heap.Init(&h)
+
+		type move struct {
+			node int32
+			gain int64
+		}
+		var moves []move
+		var cum, bestCum int64
+		bestIdx := -1
+
+		for h.Len() > 0 {
+			it := heap.Pop(&h).(gainItem)
+			u := int(it.node)
+			if locked[u] || it.ver != ver[u] {
+				continue
+			}
+			// Balance check: moving u from its side.
+			var okMove bool
+			if side[u] { // B -> A
+				okMove = total-(wA+l.nw[u]) >= minSide
+			} else { // A -> B
+				okMove = wA-l.nw[u] >= minSide
+			}
+			if !okMove {
+				continue
+			}
+			locked[u] = true
+			if side[u] {
+				wA += l.nw[u]
+			} else {
+				wA -= l.nw[u]
+			}
+			side[u] = !side[u]
+			cum += gain[u]
+			moves = append(moves, move{int32(u), gain[u]})
+			if cum > bestCum {
+				bestCum = cum
+				bestIdx = len(moves) - 1
+			}
+			for _, e := range l.adj[u] {
+				if !locked[e.v] {
+					gain[e.v] = computeGain(int(e.v))
+					ver[e.v]++
+					heap.Push(&h, gainItem{e.v, gain[e.v], ver[e.v]})
+				}
+			}
+		}
+		// Roll back to the best prefix.
+		for i := len(moves) - 1; i > bestIdx; i-- {
+			u := moves[i].node
+			side[u] = !side[u]
+		}
+		if bestCum <= 0 {
+			break
+		}
+	}
+}
+
+// Bisect computes a balanced bisection of g where node v carries weight
+// nodeWeight[v] (typically the number of servers attached to switch v;
+// pass all-ones for unweighted). It panics if len(nodeWeight) != g.N().
+func Bisect(g *graph.Graph, nodeWeight []int, opt Options) *Result {
+	opt.fill()
+	if len(nodeWeight) != g.N() {
+		panic("part: nodeWeight length mismatch")
+	}
+	r := rng.New(opt.Seed)
+
+	// Build the multilevel hierarchy.
+	levels := []*level{levelFromGraph(g, nodeWeight)}
+	for len(levels[len(levels)-1].nw) > 48 {
+		c := levels[len(levels)-1].coarsen(r)
+		if c == nil {
+			break
+		}
+		levels = append(levels, c)
+	}
+
+	var total int64
+	for _, w := range levels[0].nw {
+		total += w
+	}
+
+	// Initial partition on the coarsest level: several grown partitions,
+	// refined, best kept.
+	coarsest := levels[len(levels)-1]
+	var best []bool
+	var bestCut int64 = math.MaxInt64
+	for try := 0; try < opt.Tries; try++ {
+		side := coarsest.growPartition(r, total)
+		coarsest.refine(side, total, opt)
+		if c := coarsest.cutOf(side); c < bestCut {
+			bestCut = c
+			best = append([]bool(nil), side...)
+		}
+	}
+	side := best
+
+	// Uncoarsen with refinement at each level.
+	for li := len(levels) - 1; li > 0; li-- {
+		fineLevel := levels[li-1]
+		proj := make([]bool, len(fineLevel.nw))
+		for u := range proj {
+			proj[u] = side[levels[li].fine[u]]
+		}
+		side = proj
+		fineLevel.refine(side, total, opt)
+	}
+
+	res := &Result{Side: side, Cut: int(levels[0].cutOf(side))}
+	for u, s := range side {
+		if s {
+			res.WeightB += nodeWeight[u]
+		} else {
+			res.WeightA += nodeWeight[u]
+		}
+	}
+	return res
+}

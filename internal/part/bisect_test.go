@@ -1,0 +1,199 @@
+package part
+
+import (
+	"testing"
+
+	"dctopo/internal/graph"
+	"dctopo/internal/rng"
+)
+
+func ones(n int) []int {
+	w := make([]int, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func balanced(t *testing.T, res *Result, total int, tol float64) {
+	t.Helper()
+	min := int(float64(total) * (0.5 - tol))
+	if res.WeightA < min || res.WeightB < min {
+		t.Fatalf("unbalanced: A=%d B=%d of %d", res.WeightA, res.WeightB, total)
+	}
+	if res.WeightA+res.WeightB != total {
+		t.Fatalf("weights do not sum: %d+%d != %d", res.WeightA, res.WeightB, total)
+	}
+}
+
+// Two k-cliques joined by `bridges` edges: the minimum balanced cut is the
+// bridges.
+func twoCliques(k, bridges int) *graph.Graph {
+	b := graph.NewBuilder(2 * k)
+	for side := 0; side < 2; side++ {
+		off := side * k
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				b.AddEdge(off+i, off+j)
+			}
+		}
+	}
+	for i := 0; i < bridges; i++ {
+		b.AddEdge(i%k, k+(i%k))
+	}
+	return b.Build()
+}
+
+func TestTwoCliques(t *testing.T) {
+	for _, bridges := range []int{1, 2, 4} {
+		g := twoCliques(12, bridges)
+		res := Bisect(g, ones(g.N()), Options{Seed: 1})
+		balanced(t, res, g.N(), 0.05)
+		if res.Cut != bridges {
+			t.Errorf("bridges=%d: cut = %d, want %d", bridges, res.Cut, bridges)
+		}
+	}
+}
+
+func TestRing(t *testing.T) {
+	n := 40
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	res := Bisect(b.Build(), ones(n), Options{Seed: 2})
+	balanced(t, res, n, 0.05)
+	if res.Cut != 2 {
+		t.Errorf("ring cut = %d, want 2", res.Cut)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	// 8x8 grid: min balanced cut = 8 (a straight line).
+	r, c := 8, 8
+	b := graph.NewBuilder(r * c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				b.AddEdge(i*c+j, i*c+j+1)
+			}
+			if i+1 < r {
+				b.AddEdge(i*c+j, (i+1)*c+j)
+			}
+		}
+	}
+	res := Bisect(b.Build(), ones(r*c), Options{Seed: 3})
+	balanced(t, res, r*c, 0.05)
+	if res.Cut != 8 {
+		t.Errorf("grid cut = %d, want 8", res.Cut)
+	}
+}
+
+func TestWeightedBalance(t *testing.T) {
+	// Star-ish: one node of weight 10, many of weight 1. Balance is by
+	// node weight, so the heavy node's side should get few others.
+	n := 21
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i)
+		b.AddEdge(i, (i%(n-1))+1)
+	}
+	w := ones(n)
+	w[0] = 10
+	total := 10 + (n - 1)
+	res := Bisect(b.Build(), w, Options{Seed: 4, MaxImbalance: 0.1})
+	balanced(t, res, total, 0.1)
+}
+
+func TestCutMatchesSideAssignment(t *testing.T) {
+	r := rng.New(5)
+	b := graph.NewBuilder(60)
+	for i := 1; i < 60; i++ {
+		b.AddEdge(i, r.Intn(i))
+	}
+	for k := 0; k < 90; k++ {
+		u, v := r.Intn(60), r.Intn(60)
+		if u != v && !b.HasEdge(u, v) {
+			b.AddEdge(u, v)
+		}
+	}
+	g := b.Build()
+	res := Bisect(g, ones(60), Options{Seed: 6})
+	cut := 0
+	g.Edges(func(u, v, c int) {
+		if res.Side[u] != res.Side[v] {
+			cut += c
+		}
+	})
+	if cut != res.Cut {
+		t.Fatalf("reported cut %d != recomputed %d", res.Cut, cut)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g := twoCliques(10, 3)
+	a := Bisect(g, ones(g.N()), Options{Seed: 7})
+	b := Bisect(g, ones(g.N()), Options{Seed: 7})
+	if a.Cut != b.Cut {
+		t.Fatalf("non-deterministic: %d vs %d", a.Cut, b.Cut)
+	}
+	for i := range a.Side {
+		if a.Side[i] != b.Side[i] {
+			t.Fatalf("side assignment differs at %d", i)
+		}
+	}
+}
+
+func TestMultilevelOnLargerRandomRegular(t *testing.T) {
+	// A random 6-regular-ish graph on 600 nodes: expander, so the cut
+	// should be large (at least degree-related); mainly a smoke +
+	// balance test through multiple coarsening levels.
+	r := rng.New(8)
+	n := 600
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(i, r.Intn(i))
+	}
+	for k := 0; k < 2*n; k++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !b.HasEdge(u, v) {
+			b.AddEdge(u, v)
+		}
+	}
+	g := b.Build()
+	res := Bisect(g, ones(n), Options{Seed: 9})
+	balanced(t, res, n, 0.05)
+	if res.Cut <= 0 {
+		t.Fatal("expected positive cut on connected graph")
+	}
+}
+
+func TestPanicsOnWeightMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Bisect(twoCliques(4, 1), ones(3), Options{})
+}
+
+func BenchmarkBisect1000(b *testing.B) {
+	r := rng.New(1)
+	n := 1000
+	bd := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		bd.AddEdge(i, r.Intn(i))
+	}
+	for k := 0; k < 3*n; k++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !bd.HasEdge(u, v) {
+			bd.AddEdge(u, v)
+		}
+	}
+	g := bd.Build()
+	w := ones(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Bisect(g, w, Options{Seed: uint64(i)})
+	}
+}

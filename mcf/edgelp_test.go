@@ -1,0 +1,97 @@
+package mcf
+
+import (
+	"math"
+	"testing"
+
+	"dctopo/topo"
+	"dctopo/traffic"
+)
+
+func TestEdgeLPFigure7(t *testing.T) {
+	top := figure7Topology(t)
+	tm := figure7TM()
+	theta, err := ThroughputEdgeLP(top, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No path restriction: the true optimum is exactly 5/6.
+	if math.Abs(theta-5.0/6.0) > 1e-7 {
+		t.Fatalf("edge LP theta = %v, want 5/6", theta)
+	}
+}
+
+func TestEdgeLPAtLeastPathBased(t *testing.T) {
+	// The edge LP optimizes over all routings, so it can never be below
+	// the path-restricted LP.
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 14, Radix: 8, Servers: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := traffic.RandomPermutation(top, 2)
+	pathTheta, err := Throughput(top, tm, KShortest(top, tm, 4), Options{Method: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeTheta, err := ThroughputEdgeLP(top, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edgeTheta < pathTheta-1e-7 {
+		t.Fatalf("edge LP %v below path LP %v", edgeTheta, pathTheta)
+	}
+}
+
+func TestEdgeLPMatchesGenerousPathSet(t *testing.T) {
+	// With all paths within slack 3 the path LP should reach the edge
+	// LP's optimum on a small instance.
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 10, Radix: 7, Servers: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := traffic.RandomPermutation(top, 1)
+	edgeTheta, err := ThroughputEdgeLP(top, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := WithinSlack(top, tm, 3, 0)
+	pathTheta, err := Throughput(top, tm, paths, Options{Method: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(edgeTheta-pathTheta) > 1e-6 {
+		t.Fatalf("edge LP %v vs generous path LP %v", edgeTheta, pathTheta)
+	}
+}
+
+func TestEdgeLPTooLarge(t *testing.T) {
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 100, Radix: 16, Servers: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := traffic.RandomPermutation(top, 1)
+	if _, err := ThroughputEdgeLP(top, tm); err == nil {
+		t.Error("expected size-limit error")
+	}
+}
+
+func TestEdgeLPEmpty(t *testing.T) {
+	top := figure7Topology(t)
+	if _, err := ThroughputEdgeLP(top, &traffic.Matrix{Switches: 5}); err == nil {
+		t.Error("expected error on empty TM")
+	}
+}
+
+func BenchmarkEdgeLP(b *testing.B) {
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 12, Radix: 8, Servers: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm := traffic.RandomPermutation(top, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ThroughputEdgeLP(top, tm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package mcf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dctopo/internal/lp"
+	"dctopo/topo"
+	"dctopo/traffic"
+)
+
+// Method selects the throughput backend.
+type Method int
+
+// Backend methods.
+const (
+	// Auto picks Exact for small instances and Approx otherwise.
+	Auto Method = iota
+	// Exact solves the path LP with the simplex solver.
+	Exact
+	// Approx runs the Garg–Könemann FPTAS with feasibility rescaling.
+	Approx
+)
+
+// Options configures Throughput. The zero value means Auto with ε = 0.02.
+type Options struct {
+	Method Method
+	// Eps is the Garg–Könemann approximation parameter (default 0.02).
+	Eps float64
+}
+
+// exact solver size limits for Auto: beyond these the dense tableau gets
+// slow on a single core.
+const (
+	autoMaxPathVars = 2500
+	autoMaxRows     = 2500
+)
+
+// Detail is a full throughput solution: the achieved θ plus the per-path
+// flows realizing it, shaped like Paths.ByDemand.
+type Detail struct {
+	Theta     float64
+	PathFlows [][]float64
+}
+
+// Throughput returns θ(T): the largest factor such that θ·T is routable
+// over the given path set without exceeding any link capacity. It returns
+// an error when the matrix is empty or some demand has no admissible path
+// (θ would be 0).
+func Throughput(t *topo.Topology, m *traffic.Matrix, p *Paths, opt Options) (float64, error) {
+	d, err := ThroughputDetail(t, m, p, opt)
+	if err != nil {
+		return 0, err
+	}
+	return d.Theta, nil
+}
+
+// ThroughputDetail is Throughput plus the realizing per-path flows.
+func ThroughputDetail(t *topo.Topology, m *traffic.Matrix, p *Paths, opt Options) (*Detail, error) {
+	if len(m.Demands) == 0 {
+		return nil, errors.New("mcf: empty traffic matrix")
+	}
+	if len(p.ByDemand) != len(m.Demands) {
+		return nil, fmt.Errorf("mcf: %d path lists for %d demands", len(p.ByDemand), len(m.Demands))
+	}
+	for i, ps := range p.ByDemand {
+		if len(ps) == 0 {
+			return nil, fmt.Errorf("mcf: demand %d (%d->%d) has no paths", i, m.Demands[i].Src, m.Demands[i].Dst)
+		}
+	}
+	inst := newInstance(t, m, p)
+	var theta float64
+	var flat []float64
+	var err error
+	switch opt.Method {
+	case Exact:
+		theta, flat, err = inst.solveExact()
+	case Approx:
+		theta, flat = inst.solveGK(opt.eps())
+	default:
+		rows := len(m.Demands) + inst.numEdges
+		if p.NumPaths() <= autoMaxPathVars && rows <= autoMaxRows {
+			theta, flat, err = inst.solveExact()
+		} else {
+			theta, flat = inst.solveGK(opt.eps())
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	d := &Detail{Theta: theta, PathFlows: make([][]float64, len(m.Demands))}
+	for j, pids := range inst.pathsOf {
+		d.PathFlows[j] = make([]float64, len(pids))
+		for x, pid := range pids {
+			d.PathFlows[j][x] = flat[pid]
+		}
+	}
+	return d, nil
+}
+
+func (o Options) eps() float64 {
+	if o.Eps <= 0 || o.Eps >= 1 {
+		return 0.02
+	}
+	return o.Eps
+}
+
+// instance is the flattened path-flow system shared by both backends.
+type instance struct {
+	demands  []traffic.Demand
+	pathsOf  [][]int32 // demand -> flat path ids
+	edgeList [][]int32 // flat path id -> directed edge ids
+	capOf    []float64 // directed edge id -> capacity
+	numEdges int
+}
+
+func newInstance(t *topo.Topology, m *traffic.Matrix, p *Paths) *instance {
+	g := t.Graph()
+	edgeIdx := make(map[[2]int32]int32)
+	var caps []float64
+	idOf := func(u, v int32) int32 {
+		k := [2]int32{u, v}
+		if id, ok := edgeIdx[k]; ok {
+			return id
+		}
+		id := int32(len(caps))
+		edgeIdx[k] = id
+		caps = append(caps, float64(g.Capacity(int(u), int(v))))
+		return id
+	}
+	inst := &instance{demands: m.Demands, pathsOf: make([][]int32, len(m.Demands))}
+	for i, ps := range p.ByDemand {
+		for _, path := range ps {
+			id := int32(len(inst.edgeList))
+			edges := make([]int32, 0, len(path)-1)
+			for x := 0; x+1 < len(path); x++ {
+				edges = append(edges, idOf(path[x], path[x+1]))
+			}
+			inst.edgeList = append(inst.edgeList, edges)
+			inst.pathsOf[i] = append(inst.pathsOf[i], id)
+		}
+	}
+	inst.capOf = caps
+	inst.numEdges = len(caps)
+	return inst
+}
+
+// solveExact builds and solves the §H LP:
+//
+//	max θ  s.t.  Σ_{p∈P_j} f_p ≥ θ·d_j  ∀j,   Σ_{p∋e} f_p ≤ c_e  ∀e,  f ≥ 0.
+func (inst *instance) solveExact() (float64, []float64, error) {
+	nPaths := len(inst.edgeList)
+	prob := lp.NewProblem(1 + nPaths) // var 0 = θ, then one var per path
+	prob.SetObjective(0, 1)
+
+	for j, pids := range inst.pathsOf {
+		terms := make([]lp.Term, 0, len(pids)+1)
+		for _, pid := range pids {
+			terms = append(terms, lp.Term{Var: 1 + int(pid), Coef: 1})
+		}
+		terms = append(terms, lp.Term{Var: 0, Coef: -inst.demands[j].Amount})
+		prob.AddConstraint(terms, lp.GE, 0)
+	}
+	edgeTerms := make([][]lp.Term, inst.numEdges)
+	for pid, edges := range inst.edgeList {
+		for _, e := range edges {
+			edgeTerms[e] = append(edgeTerms[e], lp.Term{Var: 1 + pid, Coef: 1})
+		}
+	}
+	for e, terms := range edgeTerms {
+		if len(terms) == 0 {
+			continue
+		}
+		prob.AddConstraint(terms, lp.LE, inst.capOf[e])
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return 0, nil, fmt.Errorf("mcf: exact solve: %w", err)
+	}
+	return sol.Obj, sol.X[1:], nil
+}
+
+// solveGK runs Fleischer's variant of the Garg–Könemann maximum concurrent
+// flow algorithm over the fixed path sets, then rescales the accumulated
+// flow onto the feasible region. The result is a feasible throughput and,
+// for the path-restricted problem, within ≈(1−3ε) of optimal.
+func (inst *instance) solveGK(eps float64) (float64, []float64) {
+	mEdges := float64(inst.numEdges)
+	delta := (1 + eps) * math.Pow((1+eps)*mEdges, -1/eps)
+	if delta <= 0 || math.IsNaN(delta) {
+		delta = 1e-12
+	}
+	length := make([]float64, inst.numEdges)
+	d := 0.0 // Σ c_e l_e
+	for e := range length {
+		length[e] = delta / inst.capOf[e]
+		d += inst.capOf[e] * length[e]
+	}
+	flow := make([]float64, len(inst.edgeList))
+
+	pathLen := func(pid int32) float64 {
+		s := 0.0
+		for _, e := range inst.edgeList[pid] {
+			s += length[e]
+		}
+		return s
+	}
+	for d < 1 {
+		for j := range inst.demands {
+			rem := inst.demands[j].Amount
+			for rem > 1e-15 && d < 1 {
+				// Cheapest path of this commodity under current lengths.
+				best := inst.pathsOf[j][0]
+				bestLen := pathLen(best)
+				for _, pid := range inst.pathsOf[j][1:] {
+					if l := pathLen(pid); l < bestLen {
+						bestLen = l
+						best = pid
+					}
+				}
+				// Bottleneck capacity along the path.
+				cMin := math.Inf(1)
+				for _, e := range inst.edgeList[best] {
+					if inst.capOf[e] < cMin {
+						cMin = inst.capOf[e]
+					}
+				}
+				g := rem
+				if cMin < g {
+					g = cMin
+				}
+				flow[best] += g
+				rem -= g
+				for _, e := range inst.edgeList[best] {
+					grow := eps * g / inst.capOf[e]
+					d += inst.capOf[e] * length[e] * grow
+					length[e] *= 1 + grow
+				}
+			}
+		}
+	}
+
+	// Rescale onto the feasible region: divide by the worst link load,
+	// then take the worst satisfied demand fraction.
+	load := make([]float64, inst.numEdges)
+	for pid, f := range flow {
+		if f == 0 {
+			continue
+		}
+		for _, e := range inst.edgeList[pid] {
+			load[e] += f
+		}
+	}
+	lambda := 0.0
+	for e, l := range load {
+		if r := l / inst.capOf[e]; r > lambda {
+			lambda = r
+		}
+	}
+	if lambda == 0 {
+		return 0, flow
+	}
+	for pid := range flow {
+		flow[pid] /= lambda
+	}
+	theta := math.Inf(1)
+	for j, pids := range inst.pathsOf {
+		var got float64
+		for _, pid := range pids {
+			got += flow[pid]
+		}
+		if r := got / inst.demands[j].Amount; r < theta {
+			theta = r
+		}
+	}
+	if math.IsInf(theta, 1) {
+		return 0, flow
+	}
+	return theta, flow
+}

@@ -1,0 +1,111 @@
+// Package mcf computes the throughput θ(T) of a traffic matrix on a
+// topology by solving the path-based maximum-concurrent-flow problem of
+// the paper's §H: maximize θ subject to every commodity (u,v) receiving at
+// least θ·t_uv of flow over its admissible paths and no link carrying more
+// than its capacity.
+//
+// Two backends replace the paper's Gurobi dependency: an exact simplex LP
+// (internal/lp) for small instances and the Garg–Könemann multiplicative-
+// weights FPTAS for larger ones. The FPTAS output is rescaled onto the
+// feasible region, so it is always a valid throughput lower bound, within
+// (1−ε) of the LP optimum over the same path set.
+package mcf
+
+import (
+	"fmt"
+
+	"dctopo/internal/graph"
+	"dctopo/topo"
+	"dctopo/traffic"
+)
+
+// Paths holds the admissible path set of each demand of a traffic matrix,
+// in the order of Matrix.Demands (KSP-MCF's "K shortest paths" set, or a
+// slack-bounded set).
+type Paths struct {
+	ByDemand [][]graph.Path
+}
+
+// NumPaths returns the total number of paths across all demands.
+func (p *Paths) NumPaths() int {
+	n := 0
+	for _, ps := range p.ByDemand {
+		n += len(ps)
+	}
+	return n
+}
+
+// MinLen returns the hop length of the shortest path of demand i.
+func (p *Paths) MinLen(i int) int {
+	best := -1
+	for _, path := range p.ByDemand[i] {
+		if best < 0 || path.Len() < best {
+			best = path.Len()
+		}
+	}
+	return best
+}
+
+// KShortest computes the k shortest loopless paths for every demand of m
+// on t's switch graph (Yen's algorithm). Reverse demands reuse the
+// forward computation with reversed paths.
+func KShortest(t *topo.Topology, m *traffic.Matrix, k int) *Paths {
+	g := t.Graph()
+	cache := make(map[[2]int][]graph.Path)
+	out := &Paths{ByDemand: make([][]graph.Path, len(m.Demands))}
+	for i, d := range m.Demands {
+		fw := [2]int{d.Src, d.Dst}
+		if ps, ok := cache[fw]; ok {
+			out.ByDemand[i] = ps
+			continue
+		}
+		ps := g.KShortestPaths(d.Src, d.Dst, k)
+		cache[fw] = ps
+		rev := make([]graph.Path, len(ps))
+		for j, p := range ps {
+			rp := make(graph.Path, len(p))
+			for x := range p {
+				rp[len(p)-1-x] = p[x]
+			}
+			rev[j] = rp
+		}
+		cache[[2]int{d.Dst, d.Src}] = rev
+		out.ByDemand[i] = ps
+	}
+	return out
+}
+
+// WithinSlack enumerates, for every demand, all simple paths of length at
+// most shortest+slack, capped at limit paths per demand (limit <= 0 means
+// unlimited). This is the path system of the paper's Theorem 8.4 (M =
+// slack).
+func WithinSlack(t *topo.Topology, m *traffic.Matrix, slack, limit int) *Paths {
+	g := t.Graph()
+	out := &Paths{ByDemand: make([][]graph.Path, len(m.Demands))}
+	for i, d := range m.Demands {
+		out.ByDemand[i] = g.PathsWithin(d.Src, d.Dst, slack, limit)
+	}
+	return out
+}
+
+// Validate checks that every path of every demand starts and ends at the
+// demand endpoints and walks existing links.
+func (p *Paths) Validate(t *topo.Topology, m *traffic.Matrix) error {
+	if len(p.ByDemand) != len(m.Demands) {
+		return fmt.Errorf("mcf: %d path lists for %d demands", len(p.ByDemand), len(m.Demands))
+	}
+	g := t.Graph()
+	for i, d := range m.Demands {
+		for _, path := range p.ByDemand[i] {
+			if len(path) < 2 || int(path[0]) != d.Src || int(path[len(path)-1]) != d.Dst {
+				return fmt.Errorf("mcf: demand %d has path with wrong endpoints", i)
+			}
+			for x := 0; x+1 < len(path); x++ {
+				if g.Capacity(int(path[x]), int(path[x+1])) == 0 {
+					return fmt.Errorf("mcf: demand %d path uses missing link", i)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package routing_test
+
+import (
+	"fmt"
+	"log"
+
+	"dctopo/routing"
+	"dctopo/topo"
+	"dctopo/traffic"
+)
+
+// ExampleECMP measures what idealized ECMP achieves on a fat-tree — full
+// throughput, the property that makes Clos deployments operationally
+// simple (§7 of the paper).
+func ExampleECMP() {
+	ft, err := topo.FatTree(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tm := traffic.RandomPermutation(ft, 3)
+	res, err := routing.ECMP(ft, tm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ECMP theta = %.2f\n", res.Theta)
+	// Output: ECMP theta = 1.00
+}

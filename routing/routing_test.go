@@ -1,0 +1,229 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"dctopo/internal/graph"
+	"dctopo/topo"
+	"dctopo/traffic"
+	"dctopo/tub"
+)
+
+func TestECMPOptimalOnClos(t *testing.T) {
+	// §7: "ECMP is optimal for the Clos family" — a permutation TM
+	// achieves θ = 1 under ECMP on a fat-tree.
+	ft, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := traffic.RandomPermutation(ft, 3)
+	res, err := ECMP(ft, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Theta-1) > 1e-9 {
+		t.Fatalf("ECMP on fat-tree: theta = %v, want 1", res.Theta)
+	}
+}
+
+func TestECMPOptimalOnPartialClos(t *testing.T) {
+	cl, err := topo.Clos(topo.ClosConfig{Radix: 8, Layers: 3, Pods: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := traffic.RandomPermutation(cl, 5)
+	res, err := ECMP(cl, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Theta < 1-1e-9 {
+		t.Fatalf("ECMP on partial Clos: theta = %v, want >= 1", res.Theta)
+	}
+}
+
+func TestECMPAtMostTUB(t *testing.T) {
+	// Achieved throughput under any routing can never exceed TUB when
+	// the TM is the maximal permutation.
+	for seed := uint64(0); seed < 3; seed++ {
+		top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 40, Radix: 10, Servers: 5, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub, err := tub.Bound(top, tub.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm, err := ub.Matrix(top)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ECMP(top, tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Theta > ub.Bound+1e-9 {
+			t.Fatalf("seed %d: ECMP theta %v exceeds TUB %v", seed, res.Theta, ub.Bound)
+		}
+	}
+}
+
+func TestECMPSplitsOnRing(t *testing.T) {
+	// 4-ring, demand 0→2: two equal-length paths, each carrying half;
+	// the bottleneck link carries 0.5, so theta = 2.
+	b := graph.NewBuilder(4)
+	for i := 0; i < 4; i++ {
+		b.AddEdge(i, (i+1)%4)
+	}
+	top, err := topo.New("ring4", b.Build(), []int{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := &traffic.Matrix{Switches: 4, Demands: []traffic.Demand{{Src: 0, Dst: 2, Amount: 1}}}
+	res, err := ECMP(top, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Theta-2) > 1e-9 {
+		t.Fatalf("theta = %v, want 2", res.Theta)
+	}
+}
+
+func TestECMPRespectsTrunking(t *testing.T) {
+	// Two next-hop bundles with capacities 1 and 3 toward dst: ECMP
+	// splits per link, so loads stay equal and theta = 4.
+	b := graph.NewBuilder(4)
+	b.AddEdgeMult(0, 1, 1)
+	b.AddEdgeMult(0, 2, 3)
+	b.AddEdgeMult(1, 3, 3)
+	b.AddEdgeMult(2, 3, 3)
+	top, err := topo.New("trunked", b.Build(), []int{1, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := &traffic.Matrix{Switches: 4, Demands: []traffic.Demand{{Src: 0, Dst: 3, Amount: 1}}}
+	res, err := ECMP(top, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load: link (0,1) carries 1/4 on capacity 1; link (0,2) carries 3/4
+	// on capacity 3 → relative load 1/4 everywhere upstream;
+	// (1,3): 1/4 ÷ 3 = 1/12; max relative load = 1/4 → theta = 4.
+	if math.Abs(res.Theta-4) > 1e-9 {
+		t.Fatalf("theta = %v, want 4", res.Theta)
+	}
+}
+
+func TestVLBBelowECMPOnClos(t *testing.T) {
+	// VLB doubles path lengths; on a Clos it cannot beat direct ECMP.
+	ft, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := traffic.RandomPermutation(ft, 1)
+	e, err := ECMP(ft, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := VLB(ft, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Theta > e.Theta+1e-9 {
+		t.Fatalf("VLB %v beat ECMP %v on Clos", v.Theta, e.Theta)
+	}
+	if v.Theta <= 0 {
+		t.Fatalf("VLB theta = %v", v.Theta)
+	}
+}
+
+func TestVLBIsTrafficOblivious(t *testing.T) {
+	// VLB loads depend only on per-switch send/recv totals, so any two
+	// permutation TMs achieve the same theta.
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 30, Radix: 10, Servers: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := VLB(top, traffic.RandomPermutation(top, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := VLB(top, traffic.RandomPermutation(top, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Theta-b.Theta) > 1e-9 {
+		t.Fatalf("VLB theta differs across permutations: %v vs %v", a.Theta, b.Theta)
+	}
+}
+
+func TestVLBStabilizesWorstCaseOnExpander(t *testing.T) {
+	// On an expander, ECMP on the maximal permutation can collapse to the
+	// scarce shortest paths; VLB's oblivious spreading should not be
+	// catastrophically worse than ECMP's worst case (the ECMP-VLB hybrid
+	// motivation of [29]).
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 40, Radix: 10, Servers: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := tub.Bound(top, tub.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := ub.Matrix(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := ECMP(top, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := VLB(top, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Theta < e.Theta/4 {
+		t.Fatalf("VLB %v collapsed far below ECMP %v", v.Theta, e.Theta)
+	}
+}
+
+func TestECMPErrors(t *testing.T) {
+	top, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ECMP(top, &traffic.Matrix{Switches: top.NumSwitches()}); err == nil {
+		t.Error("expected error on empty TM")
+	}
+	if _, err := VLB(top, &traffic.Matrix{Switches: top.NumSwitches()}); err == nil {
+		t.Error("expected error on empty TM")
+	}
+}
+
+func BenchmarkECMP(b *testing.B) {
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 300, Radix: 14, Servers: 7, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm := traffic.RandomPermutation(top, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ECMP(top, tm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVLB(b *testing.B) {
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 150, Radix: 14, Servers: 7, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm := traffic.RandomPermutation(top, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := VLB(top, tm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package topo
+
+import (
+	"fmt"
+
+	"dctopo/internal/graph"
+)
+
+// DragonflyConfig describes a Dragonfly topology [Kim et al., ISCA'08]:
+// groups of RoutersPerGroup fully meshed routers, each router hosting
+// Servers terminals and owning GlobalLinks global ports; groups are
+// connected by distributing their global ports over the other groups.
+//
+// The paper excludes Dragonfly from its large-scale comparisons because it
+// needs very high port counts to reach datacenter sizes (§7), but notes
+// that TUB applies to it since it is uni-regular — this generator lets you
+// evaluate exactly that.
+type DragonflyConfig struct {
+	RoutersPerGroup int // a
+	Servers         int // p terminals per router
+	GlobalLinks     int // h global links per router
+	Groups          int // g; 0 means the maximum, a·h+1 (one link per group pair)
+}
+
+// Radix returns the router radix the configuration needs:
+// (a−1) + p + h.
+func (c DragonflyConfig) Radix() int {
+	return c.RoutersPerGroup - 1 + c.Servers + c.GlobalLinks
+}
+
+// Balanced returns the canonical balanced Dragonfly for a router radix r
+// following the ISCA'08 recipe a = 2p = 2h: p = h = ⌈r/4⌉, a = 2p,
+// fully scaled (g = a·h+1).
+func Balanced(radix int) DragonflyConfig {
+	p := (radix + 1) / 4
+	if p < 1 {
+		p = 1
+	}
+	return DragonflyConfig{RoutersPerGroup: 2 * p, Servers: p, GlobalLinks: p}
+}
+
+// Dragonfly generates the topology. Groups form a complete graph at the
+// group level when Groups == a·h+1; for fewer groups, each pair receives
+// ⌊a·h/(g−1)⌋ or one more parallel global links (trunking), exactly.
+func Dragonfly(cfg DragonflyConfig) (*Topology, error) {
+	a, p, h := cfg.RoutersPerGroup, cfg.Servers, cfg.GlobalLinks
+	if a < 2 || p < 1 || h < 1 {
+		return nil, fmt.Errorf("topo: dragonfly needs a>=2, p>=1, h>=1, got a=%d p=%d h=%d", a, p, h)
+	}
+	g := cfg.Groups
+	if g == 0 {
+		g = a*h + 1
+	}
+	if g < 2 || g > a*h+1 {
+		return nil, fmt.Errorf("topo: dragonfly groups must be in [2, a*h+1=%d], got %d", a*h+1, g)
+	}
+	n := g * a
+	b := graph.NewBuilder(n)
+	id := func(grp, r int) int { return grp*a + r }
+	for grp := 0; grp < g; grp++ {
+		for r := 0; r < a; r++ {
+			for r2 := r + 1; r2 < a; r2++ {
+				b.AddEdge(id(grp, r), id(grp, r2))
+			}
+		}
+	}
+	// Global links: distribute each group's a·h ports over the g−1 other
+	// groups with exact circulant weights, spreading endpoints over
+	// routers (same trunk machinery as FatClique).
+	w := trunkWeights(g, a*h)
+	members := func(grp int) []int {
+		ids := make([]int, a)
+		for r := 0; r < a; r++ {
+			ids[r] = id(grp, r)
+		}
+		return ids
+	}
+	wireTrunks(b, g, w, members, 7)
+
+	servers := make([]int, n)
+	for i := range servers {
+		servers[i] = p
+	}
+	name := fmt.Sprintf("dragonfly(a=%d,p=%d,h=%d,g=%d)", a, p, h, g)
+	return New(name, b.Build(), servers)
+}

@@ -1,0 +1,143 @@
+package topo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dctopo/internal/graph"
+)
+
+// WriteText serializes a topology in a line-oriented text format:
+//
+//	topology <name>
+//	switches <n>
+//	servers <id> <count>        (one line per switch with servers)
+//	link <u> <v> <multiplicity> (one line per distinct link bundle)
+//
+// The format round-trips through ReadText and is stable for diffing.
+func (t *Topology) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "topology %s\n", strings.ReplaceAll(t.name, " ", "_"))
+	fmt.Fprintf(bw, "switches %d\n", t.g.N())
+	for u, h := range t.servers {
+		if h > 0 {
+			fmt.Fprintf(bw, "servers %d %d\n", u, h)
+		}
+	}
+	var err error
+	t.g.Edges(func(u, v, c int) {
+		if err == nil {
+			_, err = fmt.Fprintf(bw, "link %d %d %d\n", u, v, c)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the WriteText format.
+func ReadText(r io.Reader) (*Topology, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var name string
+	var b *graph.Builder
+	var servers []int
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		switch fields[0] {
+		case "topology":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("topo: line %d: topology needs a name", line)
+			}
+			name = fields[1]
+		case "switches":
+			var n int
+			if len(fields) != 2 || scanInt(fields[1], &n) != nil || n < 1 || n > 1<<24 {
+				return nil, fmt.Errorf("topo: line %d: bad switches line", line)
+			}
+			b = graph.NewBuilder(n)
+			servers = make([]int, n)
+		case "servers":
+			var u, h int
+			if b == nil || len(fields) != 3 || scanInt(fields[1], &u) != nil || scanInt(fields[2], &h) != nil {
+				return nil, fmt.Errorf("topo: line %d: bad servers line", line)
+			}
+			if u < 0 || u >= len(servers) || h < 0 {
+				return nil, fmt.Errorf("topo: line %d: bad servers entry", line)
+			}
+			servers[u] = h
+		case "link":
+			var u, v, c int
+			if b == nil || len(fields) != 4 ||
+				scanInt(fields[1], &u) != nil || scanInt(fields[2], &v) != nil || scanInt(fields[3], &c) != nil {
+				return nil, fmt.Errorf("topo: line %d: bad link line", line)
+			}
+			if u < 0 || v < 0 || u >= len(servers) || v >= len(servers) || u == v || c < 1 {
+				return nil, fmt.Errorf("topo: line %d: invalid link %d-%d x%d", line, u, v, c)
+			}
+			b.AddEdgeMult(u, v, c)
+		default:
+			return nil, fmt.Errorf("topo: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("topo: missing switches line")
+	}
+	if name == "" {
+		name = "imported"
+	}
+	return New(name, b.Build(), servers)
+}
+
+func scanInt(s string, out *int) error {
+	_, err := fmt.Sscanf(s, "%d", out)
+	return err
+}
+
+// WriteDOT emits the topology as a Graphviz graph: host switches as boxes
+// labeled with their server counts, transit switches as circles, trunked
+// bundles as labeled edges.
+func (t *Topology) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %q {\n  layout=neato;\n  node [fontsize=10];\n", t.name)
+	order := make([]int, t.g.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Ints(order)
+	for _, u := range order {
+		if h := t.servers[u]; h > 0 {
+			fmt.Fprintf(bw, "  s%d [shape=box,label=\"s%d\\nH=%d\"];\n", u, u, h)
+		} else {
+			fmt.Fprintf(bw, "  s%d [shape=circle,label=\"s%d\"];\n", u, u)
+		}
+	}
+	var err error
+	t.g.Edges(func(u, v, c int) {
+		if err != nil {
+			return
+		}
+		if c > 1 {
+			_, err = fmt.Fprintf(bw, "  s%d -- s%d [label=%d];\n", u, v, c)
+		} else {
+			_, err = fmt.Fprintf(bw, "  s%d -- s%d;\n", u, v)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

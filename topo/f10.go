@@ -1,0 +1,59 @@
+package topo
+
+import (
+	"fmt"
+
+	"dctopo/internal/graph"
+)
+
+// F10 generates the F10 AB fat-tree [Liu et al., NSDI'13]: a 3-tier
+// fat-tree with k-port switches whose pods alternate between two
+// aggregation-to-core striping types (A and B), so that a core failure
+// leaves alternative short detours. Same switch and server counts as
+// FatTree(k); only the top-level wiring differs.
+//
+// The paper conjectures (§4.1) that F10, like Clos, has full throughput;
+// tub.Bound on an F10 instance lets you check the bound side of that
+// conjecture (it is 1, as for Clos).
+func F10(k int) (*Topology, error) {
+	if k < 4 || k%2 != 0 {
+		return nil, fmt.Errorf("topo: F10 needs even k >= 4, got %d", k)
+	}
+	m := k / 2
+	nEdge := k * m // k pods × k/2 edge
+	nAgg := k * m  // k pods × k/2 agg
+	nCore := m * m
+	total := nEdge + nAgg + nCore
+	b := graph.NewBuilder(total)
+	servers := make([]int, total)
+
+	edgeID := func(pod, j int) int { return pod*m + j }
+	aggID := func(pod, j int) int { return nEdge + pod*m + j }
+	coreID := func(g, i int) int { return nEdge + nAgg + g*m + i }
+
+	for pod := 0; pod < k; pod++ {
+		for j := 0; j < m; j++ {
+			servers[edgeID(pod, j)] = m
+			// Edge-agg: complete bipartite within the pod.
+			for a := 0; a < m; a++ {
+				b.AddEdge(edgeID(pod, j), aggID(pod, a))
+			}
+		}
+		for a := 0; a < m; a++ {
+			for i := 0; i < m; i++ {
+				if pod%2 == 0 {
+					// Type A striping: agg a ↔ core group a.
+					b.AddEdge(aggID(pod, a), coreID(a, i))
+				} else {
+					// Type B striping: agg a ↔ cores with in-group index a.
+					b.AddEdge(aggID(pod, a), coreID(i, a))
+				}
+			}
+		}
+	}
+	t, err := New(fmt.Sprintf("f10(k=%d)", k), b.Build(), servers)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}

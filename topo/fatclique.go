@@ -1,0 +1,270 @@
+package topo
+
+import (
+	"errors"
+	"fmt"
+
+	"dctopo/internal/graph"
+	"dctopo/internal/rng"
+)
+
+// FatCliqueConfig describes a FatClique topology [Zhang et al., NSDI'19]:
+// a three-level hierarchy of cliques. Switches are grouped into
+// sub-blocks, sub-blocks into blocks, and blocks into the fabric:
+//
+//   - within a sub-block, switches form a clique (SubBlockSize−1 ports);
+//   - within a block, each switch spends BlockPorts ports on links to the
+//     other sub-blocks of its block, distributed round-robin so that every
+//     sub-block pair gets ≈ c·BlockPorts/(s−1) links;
+//   - across the fabric, each switch spends GlobalPorts ports on links to
+//     the other blocks, distributed round-robin so every block pair gets
+//     ≈ c·s·GlobalPorts/(b−1) links.
+//
+// When the round-robin distribution does not divide evenly, a few ports
+// are left unused (real deployments leave ports unused too; the TUB
+// computation uses actual used ports per switch). Per the paper's §I, the
+// number of servers per switch may differ by one across switches:
+// TotalServers is spread as evenly as possible.
+type FatCliqueConfig struct {
+	SubBlockSize int // switches per sub-block (c >= 1)
+	SubBlocks    int // sub-blocks per block (s >= 1)
+	Blocks       int // blocks in the fabric (b >= 1)
+	BlockPorts   int // per-switch ports toward other sub-blocks (0 iff s == 1)
+	GlobalPorts  int // per-switch ports toward other blocks (0 iff b == 1)
+	TotalServers int // total servers (N), spread evenly over all switches
+}
+
+// SwitchDegree returns the maximum switch-to-switch degree of the
+// configuration (some switches may use one or two fewer ports when the
+// round-robin trunking does not divide evenly).
+func (c FatCliqueConfig) SwitchDegree() int {
+	return (c.SubBlockSize - 1) + c.BlockPorts + c.GlobalPorts
+}
+
+// Switches returns the total switch count of the configuration.
+func (c FatCliqueConfig) Switches() int {
+	return c.SubBlockSize * c.SubBlocks * c.Blocks
+}
+
+func (c FatCliqueConfig) validate() error {
+	switch {
+	case c.SubBlockSize < 1 || c.SubBlocks < 1 || c.Blocks < 1:
+		return errors.New("topo: fatclique dimensions must be >= 1")
+	case c.SubBlocks > 1 && c.BlockPorts < 1:
+		return errors.New("topo: fatclique with multiple sub-blocks needs BlockPorts >= 1")
+	case c.Blocks > 1 && c.GlobalPorts < 1:
+		return errors.New("topo: fatclique with multiple blocks needs GlobalPorts >= 1")
+	case c.SubBlocks > 1 && c.SubBlockSize*c.BlockPorts < c.SubBlocks-1:
+		return errors.New("topo: not enough block ports to reach every sub-block")
+	case c.Blocks > 1 && c.SubBlockSize*c.SubBlocks*c.GlobalPorts < c.Blocks-1:
+		return errors.New("topo: not enough global ports to reach every block")
+	}
+	return nil
+}
+
+// FatClique generates a FatClique topology. The switch id of switch x in
+// sub-block sb of block b is (b*SubBlocks+sb)*SubBlockSize + x.
+func FatClique(cfg FatCliqueConfig) (*Topology, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c, s, bl := cfg.SubBlockSize, cfg.SubBlocks, cfg.Blocks
+	n := cfg.Switches()
+	if n < 2 {
+		return nil, errors.New("topo: fatclique needs at least 2 switches")
+	}
+	if cfg.TotalServers < n {
+		return nil, fmt.Errorf("topo: fatclique is uni-regular; need >= 1 server per switch (%d servers for %d switches)", cfg.TotalServers, n)
+	}
+	id := func(b, sb, x int) int { return (b*s+sb)*c + x }
+	gb := graph.NewBuilder(n)
+
+	// Level 1: clique within every sub-block.
+	for b := 0; b < bl; b++ {
+		for sb := 0; sb < s; sb++ {
+			for x := 0; x < c; x++ {
+				for y := x + 1; y < c; y++ {
+					gb.AddEdge(id(b, sb, x), id(b, sb, y))
+				}
+			}
+		}
+	}
+
+	// Level 2: within each block, distribute the block's total trunk
+	// budget (c·BlockPorts per sub-block) over sub-block pairs with exact
+	// circulant weights, then realize each trunk with switch slots.
+	if s > 1 {
+		w2 := trunkWeights(s, c*cfg.BlockPorts)
+		for b := 0; b < bl; b++ {
+			members := func(j int) []int {
+				ids := make([]int, c)
+				for x := 0; x < c; x++ {
+					ids[x] = id(b, j, x)
+				}
+				return ids
+			}
+			wireTrunks(gb, s, w2, members, uint64(b)+2)
+		}
+	}
+
+	// Level 3: distribute each block's total trunk budget
+	// (c·s·GlobalPorts) over block pairs the same way.
+	if bl > 1 {
+		w3 := trunkWeights(bl, c*s*cfg.GlobalPorts)
+		members := func(b int) []int {
+			ids := make([]int, c*s)
+			for sb := 0; sb < s; sb++ {
+				for x := 0; x < c; x++ {
+					ids[sb*c+x] = id(b, sb, x)
+				}
+			}
+			return ids
+		}
+		wireTrunks(gb, bl, w3, members, 1)
+	}
+
+	name := fmt.Sprintf("fatclique(c=%d,s=%d,b=%d,N=%d)", c, s, bl, cfg.TotalServers)
+	return New(name, gb.Build(), spreadServers(cfg.TotalServers, n))
+}
+
+// trunkWeights distributes a per-node trunk budget T over the other n−1
+// nodes as evenly as possible with exact totals: every pair gets
+// q = ⌊T/(n−1)⌋ links, and the remainder is realized as a circulant
+// r-regular graph (extras to the ⌈r/2⌉ nearest neighbors on each side,
+// plus the antipode when r is odd and n even). When r is odd and n is odd
+// an exact distribution is impossible; one port per node is left unused.
+// The returned function reports the weight of pair (i, j), i != j.
+func trunkWeights(n, total int) func(i, j int) int {
+	q := total / (n - 1)
+	r := total % (n - 1)
+	if r%2 == 1 && n%2 == 1 {
+		r-- // leave one port free per node
+	}
+	half := r / 2
+	antipode := r%2 == 1 // n even here
+	return func(i, j int) int {
+		d := i - j
+		if d < 0 {
+			d = -d
+		}
+		if n-d < d {
+			d = n - d
+		}
+		w := q
+		if d <= half && d > 0 {
+			w++
+		}
+		if antipode && d == n/2 {
+			w++
+		}
+		return w
+	}
+}
+
+// wireTrunks realizes weighted trunks between n groups. members(g) lists
+// the switch ids of group g. Each group's slot sequence (its members
+// repeated once per trunk port) is shuffled deterministically before being
+// consumed, so that a switch's position within its group carries no
+// information about which partner groups it reaches — sequential
+// assignment would leave a grid-like low-capacity cut.
+func wireTrunks(gb *graph.Builder, n int, weight func(i, j int) int, members func(g int) []int, seed uint64) {
+	// Per-group randomized slot sequences.
+	slots := make([][]int, n)
+	ptr := make([]int, n)
+	for g := 0; g < n; g++ {
+		m := members(g)
+		var total int
+		for j := 0; j < n; j++ {
+			if j != g {
+				total += weight(g, j)
+			}
+		}
+		seq := make([]int, 0, total)
+		for len(seq) < total {
+			seq = append(seq, m...)
+		}
+		seq = seq[:total]
+		r := rng.New((seed+3)*0x9e3779b97f4a7c15 + uint64(g))
+		r.Shuffle(len(seq), func(x, y int) { seq[x], seq[y] = seq[y], seq[x] })
+		slots[g] = seq
+	}
+	take := func(g, k int) []int {
+		out := slots[g][ptr[g] : ptr[g]+k]
+		ptr[g] += k
+		return out
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := weight(i, j)
+			if w == 0 {
+				continue
+			}
+			a := take(i, w)
+			b := take(j, w)
+			for k := 0; k < w; k++ {
+				gb.AddEdge(a[k], b[k])
+			}
+		}
+	}
+}
+
+// FatCliqueShapes enumerates FatClique configurations whose maximum switch
+// degree equals exactly degree and whose switch count lies in
+// [minSwitches, maxSwitches], capped at 256 shapes. The port budget is
+// split near-evenly between the three levels, scanning the neighborhood of
+// the even split (the design recipe of the FatClique paper).
+func FatCliqueShapes(degree, minSwitches, maxSwitches int) []FatCliqueConfig {
+	var out []FatCliqueConfig
+	add := func(cfg FatCliqueConfig) {
+		if cfg.validate() != nil {
+			return
+		}
+		if n := cfg.Switches(); n >= minSwitches && n <= maxSwitches && n >= 2 {
+			out = append(out, cfg)
+		}
+	}
+	for c := 2; c-1 <= degree; c++ {
+		rem := degree - (c - 1)
+		for p2 := 0; p2 <= rem; p2++ {
+			p3 := rem - p2
+			// s choices: 1 (iff p2 == 0) or any s-1 <= c*p2.
+			var sOpts []int
+			if p2 == 0 {
+				sOpts = []int{1}
+			} else {
+				for s := 2; s-1 <= c*p2 && s <= 64; s++ {
+					sOpts = append(sOpts, s)
+				}
+			}
+			for _, s := range sOpts {
+				base := c * s
+				if base > maxSwitches {
+					continue
+				}
+				if p3 == 0 {
+					add(FatCliqueConfig{SubBlockSize: c, SubBlocks: s, Blocks: 1, BlockPorts: p2})
+					continue
+				}
+				// Up to four b values spanning the valid range keep the
+				// enumeration small without starving any (c, p2) split.
+				lo := max(2, (minSwitches+base-1)/base)
+				hi := min(maxSwitches/base, base*p3+1)
+				if lo > hi {
+					continue
+				}
+				seen := map[int]bool{}
+				for _, b := range []int{lo, (2*lo + hi) / 3, (lo + 2*hi) / 3, hi} {
+					if b < lo || b > hi || seen[b] {
+						continue
+					}
+					seen[b] = true
+					add(FatCliqueConfig{
+						SubBlockSize: c, SubBlocks: s, Blocks: b,
+						BlockPorts: p2, GlobalPorts: p3,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

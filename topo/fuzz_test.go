@@ -1,0 +1,43 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText checks that arbitrary input never panics the parser and
+// that anything it accepts survives a write/read round trip.
+func FuzzReadText(f *testing.F) {
+	seeds := []string{
+		"topology t\nswitches 3\nservers 0 1\nservers 1 1\nservers 2 1\nlink 0 1 1\nlink 1 2 1\n",
+		"switches 2\nservers 0 1\nservers 1 2\nlink 0 1 3\n",
+		"# comment\nswitches 1\n",
+		"link 0 1 1",
+		"switches 2\nlink 0 0 1",
+		"switches 2\nlink 0 1 -4",
+		"switches 99999999999999",
+		"servers 0 1",
+		"topology\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		top, err := ReadText(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := top.WriteText(&buf); err != nil {
+			t.Fatalf("accepted topology failed to serialize: %v", err)
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NumServers() != top.NumServers() || back.Links() != top.Links() {
+			t.Fatalf("round trip changed topology: %v vs %v", back, top)
+		}
+	})
+}

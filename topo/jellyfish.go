@@ -1,0 +1,206 @@
+package topo
+
+import (
+	"errors"
+	"fmt"
+
+	"dctopo/internal/graph"
+	"dctopo/internal/rng"
+)
+
+// JellyfishConfig describes a Jellyfish topology [Singla et al., NSDI'12]:
+// n switches of radix R, each hosting H servers, with the remaining
+// R−H ports wired into a random regular graph.
+type JellyfishConfig struct {
+	Switches int    // number of switches (n)
+	Radix    int    // switch radix (R)
+	Servers  int    // servers per switch (H)
+	Seed     uint64 // RNG seed; a given config+seed is reproducible
+}
+
+// Jellyfish generates a Jellyfish topology. The switch graph is a uniform
+// random (R−H)-regular simple connected graph, built with the
+// configuration model followed by double-edge-swap repair (the same family
+// of constructions as the original paper's "random graph with swaps").
+// If Switches·(R−H) is odd, one switch is left with one free port, as in
+// the reference implementation.
+func Jellyfish(cfg JellyfishConfig) (*Topology, error) {
+	r := cfg.Radix - cfg.Servers
+	switch {
+	case cfg.Switches < 2:
+		return nil, errors.New("topo: jellyfish needs at least 2 switches")
+	case cfg.Servers < 1:
+		return nil, errors.New("topo: jellyfish is uni-regular; Servers must be >= 1")
+	case r < 2:
+		return nil, fmt.Errorf("topo: jellyfish needs R-H >= 2, got %d", r)
+	case r >= cfg.Switches:
+		return nil, fmt.Errorf("topo: degree %d too large for %d switches", r, cfg.Switches)
+	}
+	rnd := rng.New(cfg.Seed)
+	var g *graph.Graph
+	var err error
+	for attempt := 0; attempt < 20; attempt++ {
+		g, err = randomRegular(cfg.Switches, r, rnd)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("topo: jellyfish generation failed: %w", err)
+	}
+	name := fmt.Sprintf("jellyfish(n=%d,R=%d,H=%d)", cfg.Switches, cfg.Radix, cfg.Servers)
+	servers := make([]int, cfg.Switches)
+	for i := range servers {
+		servers[i] = cfg.Servers
+	}
+	return New(name, g, servers)
+}
+
+// randomRegular builds a connected random r-regular simple graph on n
+// nodes via the configuration model with repair. If n·r is odd, one node
+// has degree r−1.
+func randomRegular(n, r int, rnd *rng.RNG) (*graph.Graph, error) {
+	type edge = rrEdge
+	stubs := make([]int32, 0, n*r)
+	for v := 0; v < n; v++ {
+		for k := 0; k < r; k++ {
+			stubs = append(stubs, int32(v))
+		}
+	}
+	if len(stubs)%2 == 1 {
+		stubs = stubs[:len(stubs)-1] // node n-1 keeps a free port
+	}
+	rnd.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+
+	edges := make([]edge, 0, len(stubs)/2)
+	adj := make(map[[2]int32]bool, len(stubs)/2)
+	key := func(u, v int32) [2]int32 {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int32{u, v}
+	}
+	addEdge := func(u, v int32) {
+		edges = append(edges, edge{u, v})
+		adj[key(u, v)] = true
+	}
+
+	var bad []edge // self-loops and duplicates to repair
+	for i := 0; i+1 < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v || adj[key(u, v)] {
+			bad = append(bad, edge{u, v})
+			continue
+		}
+		addEdge(u, v)
+	}
+
+	// Repair bad pairs with double-edge swaps against random good edges.
+	for iter := 0; len(bad) > 0; iter++ {
+		if iter > 200*n*r {
+			return nil, errors.New("edge repair did not converge")
+		}
+		e := bad[len(bad)-1]
+		if len(edges) == 0 {
+			return nil, errors.New("no edges available for repair")
+		}
+		i := rnd.Intn(len(edges))
+		f := edges[i]
+		// Rewire (e.u,e.v) + (f.u,f.v) -> (e.u,f.u) + (e.v,f.v).
+		a, b, c, d := e.u, f.u, e.v, f.v
+		if a == b || c == d || adj[key(a, b)] || adj[key(c, d)] {
+			// Try the crossed pairing.
+			a, b, c, d = e.u, f.v, e.v, f.u
+			if a == b || c == d || adj[key(a, b)] || adj[key(c, d)] {
+				continue
+			}
+		}
+		bad = bad[:len(bad)-1]
+		delete(adj, key(f.u, f.v))
+		edges[i] = edges[len(edges)-1]
+		edges = edges[:len(edges)-1]
+		addEdge(a, b)
+		addEdge(c, d)
+	}
+
+	// Connect components by degree-preserving swaps.
+	g := buildFrom(n, edges)
+	for iter := 0; !g.Connected(); iter++ {
+		if iter > 10*n {
+			return nil, errors.New("connectivity repair did not converge")
+		}
+		comp := componentOf(g)
+		// Pick an edge inside component 0 and one outside; swap.
+		var in, out []int
+		for i, e := range edges {
+			if comp[e.u] == 0 && comp[e.v] == 0 {
+				in = append(in, i)
+			} else if comp[e.u] != 0 && comp[e.v] != 0 && comp[e.u] == comp[e.v] {
+				out = append(out, i)
+			}
+		}
+		if len(in) == 0 || len(out) == 0 {
+			// Components joined only through cross edges already; pick any
+			// two edges from distinct components.
+			return nil, errors.New("cannot find swap candidates")
+		}
+		swapped := false
+		for tries := 0; tries < 100 && !swapped; tries++ {
+			ei := in[rnd.Intn(len(in))]
+			eo := out[rnd.Intn(len(out))]
+			e, f := edges[ei], edges[eo]
+			if !adj[key(e.u, f.u)] && !adj[key(e.v, f.v)] {
+				delete(adj, key(e.u, e.v))
+				delete(adj, key(f.u, f.v))
+				edges[ei] = edge{e.u, f.u}
+				edges[eo] = edge{e.v, f.v}
+				adj[key(e.u, f.u)] = true
+				adj[key(e.v, f.v)] = true
+				swapped = true
+			}
+		}
+		if !swapped {
+			return nil, errors.New("connectivity swap failed")
+		}
+		g = buildFrom(n, edges)
+	}
+	return g, nil
+}
+
+// rrEdge is an undirected edge during random-regular construction.
+type rrEdge struct{ u, v int32 }
+
+func buildFrom(n int, edges []rrEdge) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(int(e.u), int(e.v))
+	}
+	return b.Build()
+}
+
+// componentOf labels connected components.
+func componentOf(g *graph.Graph) []int32 {
+	comp := make([]int32, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := int32(0)
+	for s := 0; s < g.N(); s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		queue := []int32{int32(s)}
+		comp[s] = next
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			g.Neighbors(int(u), func(v, c int) {
+				if comp[v] == -1 {
+					comp[v] = next
+					queue = append(queue, int32(v))
+				}
+			})
+		}
+		next++
+	}
+	return comp
+}

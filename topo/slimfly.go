@@ -1,0 +1,134 @@
+package topo
+
+import (
+	"fmt"
+
+	"dctopo/internal/graph"
+)
+
+// SlimFly generates a Slim Fly topology [Besta & Hoefler, SC'14]: a
+// diameter-2 network built on the McKay–Miller–Širáň (MMS) graph for a
+// prime q with q ≡ 1 (mod 4). The graph has 2q² routers of network degree
+// (3q−1)/2, each hosting servers terminals.
+//
+// Construction (Z_q arithmetic, ξ a primitive root):
+//
+//	X  = {ξ⁰, ξ², ..., ξ^{q-3}}   (even powers — the quadratic residues)
+//	X' = {ξ¹, ξ³, ..., ξ^{q-2}}   (odd powers)
+//	router (0,x,y) ~ (0,x,y')  iff  y−y' ∈ X
+//	router (1,m,c) ~ (1,m,c')  iff  c−c' ∈ X'
+//	router (0,x,y) ~ (1,m,c)   iff  y = m·x + c
+//
+// The paper excludes Slim Fly from its comparisons for scalability
+// reasons (§7) but notes TUB applies to it; this generator lets you
+// measure its bound directly.
+func SlimFly(q, servers int) (*Topology, error) {
+	if servers < 1 {
+		return nil, fmt.Errorf("topo: slimfly needs servers >= 1")
+	}
+	if q < 5 || !isPrime(q) || q%4 != 1 {
+		return nil, fmt.Errorf("topo: slimfly needs a prime q ≡ 1 (mod 4) and q >= 5, got %d", q)
+	}
+	xi := primitiveRoot(q)
+	inX := make([]bool, q)  // even powers of ξ
+	inXp := make([]bool, q) // odd powers
+	v := 1
+	for i := 0; i < q-1; i++ {
+		if i%2 == 0 {
+			inX[v] = true
+		} else {
+			inXp[v] = true
+		}
+		v = v * xi % q
+	}
+
+	n := 2 * q * q
+	id := func(side, a, b int) int { return side*q*q + a*q + b }
+	gb := graph.NewBuilder(n)
+	// Intra-column edges.
+	for a := 0; a < q; a++ {
+		for y := 0; y < q; y++ {
+			for y2 := y + 1; y2 < q; y2++ {
+				d := (y2 - y + q) % q
+				if inX[d] { // X is symmetric for q ≡ 1 mod 4 (−1 is a QR)
+					gb.AddEdge(id(0, a, y), id(0, a, y2))
+				}
+				if inXp[d] {
+					gb.AddEdge(id(1, a, y), id(1, a, y2))
+				}
+			}
+		}
+	}
+	// Cross edges: (0,x,y) ~ (1,m,c) iff y = m·x + c.
+	for x := 0; x < q; x++ {
+		for m := 0; m < q; m++ {
+			for c := 0; c < q; c++ {
+				y := (m*x + c) % q
+				gb.AddEdge(id(0, x, y), id(1, m, c))
+			}
+		}
+	}
+	srv := make([]int, n)
+	for i := range srv {
+		srv[i] = servers
+	}
+	name := fmt.Sprintf("slimfly(q=%d,H=%d)", q, servers)
+	return New(name, gb.Build(), srv)
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// primitiveRoot returns a generator of the multiplicative group of Z_q
+// for prime q.
+func primitiveRoot(q int) int {
+	// Factor q-1.
+	phi := q - 1
+	var factors []int
+	m := phi
+	for d := 2; d*d <= m; d++ {
+		if m%d == 0 {
+			factors = append(factors, d)
+			for m%d == 0 {
+				m /= d
+			}
+		}
+	}
+	if m > 1 {
+		factors = append(factors, m)
+	}
+	pow := func(b, e, mod int) int {
+		r := 1
+		b %= mod
+		for e > 0 {
+			if e&1 == 1 {
+				r = r * b % mod
+			}
+			b = b * b % mod
+			e >>= 1
+		}
+		return r
+	}
+	for g := 2; g < q; g++ {
+		ok := true
+		for _, f := range factors {
+			if pow(g, phi/f, q) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g
+		}
+	}
+	return 1 // unreachable for prime q
+}

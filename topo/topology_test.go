@@ -1,0 +1,444 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+
+	"dctopo/internal/graph"
+)
+
+func mustJellyfish(t testing.TB, n, r, h int, seed uint64) *Topology {
+	t.Helper()
+	top, err := Jellyfish(JellyfishConfig{Switches: n, Radix: r, Servers: h, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestNewValidation(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+
+	if _, err := New("x", g, []int{1, 1}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if _, err := New("x", g, []int{1, -1, 1}); err == nil {
+		t.Error("expected negative count error")
+	}
+	if _, err := New("x", g, []int{0, 0, 0}); err == nil {
+		t.Error("expected no-servers error")
+	}
+	db := graph.NewBuilder(4)
+	db.AddEdge(0, 1)
+	db.AddEdge(2, 3)
+	if _, err := New("x", db.Build(), []int{1, 1, 1, 1}); err == nil {
+		t.Error("expected disconnected error")
+	}
+	top, err := New("x", g, []int{2, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumServers() != 5 || len(top.Hosts()) != 2 {
+		t.Errorf("servers=%d hosts=%v", top.NumServers(), top.Hosts())
+	}
+	if top.UsedPorts(0) != 3 { // 2 servers + 1 link
+		t.Errorf("UsedPorts(0) = %d", top.UsedPorts(0))
+	}
+}
+
+func TestRegularityPredicates(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+
+	uni, _ := New("u", g, []int{2, 2, 2})
+	if !uni.UniRegular() || !uni.BiRegular() {
+		t.Error("uniform uni-regular should satisfy both predicates")
+	}
+	fc, _ := New("f", g, []int{2, 3, 2})
+	if !fc.UniRegular() || fc.BiRegular() {
+		t.Error("H differing by 1 is uni-regular (FatClique) but not bi-regular")
+	}
+	bi, _ := New("b", g, []int{4, 0, 4})
+	if bi.UniRegular() || !bi.BiRegular() {
+		t.Error("0/H mix is bi-regular only")
+	}
+}
+
+func TestJellyfishRegularSimpleConnected(t *testing.T) {
+	for _, tc := range []struct{ n, r, h int }{
+		{20, 8, 4}, {50, 12, 6}, {101, 10, 5}, {64, 16, 8},
+	} {
+		top := mustJellyfish(t, tc.n, tc.r, tc.h, 7)
+		g := top.Graph()
+		deg := tc.r - tc.h
+		odd := tc.n*deg%2 == 1
+		short := 0
+		for u := 0; u < tc.n; u++ {
+			d := g.Degree(u)
+			if d == deg-1 && odd {
+				short++
+				continue
+			}
+			if d != deg {
+				t.Fatalf("n=%d: switch %d degree %d, want %d", tc.n, u, d, deg)
+			}
+		}
+		if odd && short != 1 {
+			t.Fatalf("odd stub count should leave exactly 1 short switch, got %d", short)
+		}
+		// Simple graph: no multiplicity > 1.
+		g.Edges(func(u, v, c int) {
+			if c != 1 {
+				t.Fatalf("multi-edge (%d,%d) x%d", u, v, c)
+			}
+		})
+		if !g.Connected() {
+			t.Fatal("disconnected")
+		}
+		if top.NumServers() != tc.n*tc.h {
+			t.Fatalf("servers = %d", top.NumServers())
+		}
+	}
+}
+
+func TestJellyfishDeterministicPerSeed(t *testing.T) {
+	a := mustJellyfish(t, 40, 10, 5, 3)
+	b := mustJellyfish(t, 40, 10, 5, 3)
+	c := mustJellyfish(t, 40, 10, 5, 4)
+	same := true
+	a.Graph().Edges(func(u, v, cp int) {
+		if b.Graph().Capacity(u, v) != cp {
+			same = false
+		}
+	})
+	if !same {
+		t.Error("same seed produced different topologies")
+	}
+	diff := false
+	a.Graph().Edges(func(u, v, cp int) {
+		if c.Graph().Capacity(u, v) != cp {
+			diff = true
+		}
+	})
+	if !diff {
+		t.Error("different seeds produced identical topologies")
+	}
+}
+
+func TestJellyfishErrors(t *testing.T) {
+	cases := []JellyfishConfig{
+		{Switches: 1, Radix: 8, Servers: 4},
+		{Switches: 10, Radix: 8, Servers: 0},
+		{Switches: 10, Radix: 8, Servers: 7},
+		{Switches: 4, Radix: 12, Servers: 4}, // degree 8 >= 4 switches
+	}
+	for i, cfg := range cases {
+		if _, err := Jellyfish(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestXpanderStructure(t *testing.T) {
+	top, err := Xpander(XpanderConfig{Switches: 60, Radix: 10, Servers: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := 5
+	if top.NumSwitches() != XpanderSize(60, 10, 5) {
+		t.Fatalf("switches = %d", top.NumSwitches())
+	}
+	if top.NumSwitches()%(d+1) != 0 {
+		t.Fatalf("switch count %d not a multiple of d+1", top.NumSwitches())
+	}
+	g := top.Graph()
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u) != d {
+			t.Fatalf("switch %d degree %d, want %d", u, g.Degree(u), d)
+		}
+	}
+	g.Edges(func(u, v, c int) {
+		if c != 1 {
+			t.Fatalf("xpander multi-edge")
+		}
+	})
+	// Lift structure: no edges inside a meta-node.
+	k := top.NumSwitches() / (d + 1)
+	g.Edges(func(u, v, c int) {
+		if u/k == v/k {
+			t.Fatalf("edge (%d,%d) inside meta-node %d", u, v, u/k)
+		}
+	})
+}
+
+func TestXpanderSizeRounding(t *testing.T) {
+	if got := XpanderSize(100, 10, 5); got != 102 { // d+1=6, k=17
+		t.Fatalf("XpanderSize = %d, want 102", got)
+	}
+	if got := XpanderSize(5, 10, 5); got != 6 {
+		t.Fatalf("XpanderSize = %d, want 6", got)
+	}
+}
+
+func TestFatCliqueStructure(t *testing.T) {
+	cfg := FatCliqueConfig{SubBlockSize: 4, SubBlocks: 3, Blocks: 3, BlockPorts: 2, GlobalPorts: 2, TotalServers: 80}
+	top, err := FatClique(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cfg.Switches()
+	if top.NumSwitches() != 36 || n != 36 {
+		t.Fatalf("switches = %d", top.NumSwitches())
+	}
+	deg := cfg.SwitchDegree() // (4-1) + 2 + 2 = 7
+	g := top.Graph()
+	for u := 0; u < n; u++ {
+		if g.Degree(u) != deg {
+			t.Fatalf("switch %d degree %d, want %d", u, g.Degree(u), deg)
+		}
+	}
+	if top.NumServers() != 80 {
+		t.Fatalf("servers = %d", top.NumServers())
+	}
+	if !top.UniRegular() {
+		t.Fatal("FatClique with spread servers must be uni-regular (±1)")
+	}
+	// Server counts differ by at most 1: 80/36 -> 2s and 3s.
+	lo, hi := 99, 0
+	for u := 0; u < n; u++ {
+		h := top.Servers(u)
+		if h < lo {
+			lo = h
+		}
+		if h > hi {
+			hi = h
+		}
+	}
+	if lo != 2 || hi != 3 {
+		t.Fatalf("server spread = [%d,%d], want [2,3]", lo, hi)
+	}
+}
+
+func TestFatCliqueShapes(t *testing.T) {
+	shapes := FatCliqueShapes(7, 10, 100)
+	if len(shapes) == 0 {
+		t.Fatal("no shapes found")
+	}
+	for _, s := range shapes {
+		if s.SwitchDegree() != 7 {
+			t.Fatalf("shape %+v degree %d", s, s.SwitchDegree())
+		}
+		if n := s.Switches(); n < 10 || n > 100 {
+			t.Fatalf("shape %+v out of range", s)
+		}
+	}
+}
+
+func TestClosCountsMatchPaper(t *testing.T) {
+	// Table A.1 of the paper: (N, layers, switches).
+	cases := []struct {
+		cfg      ClosConfig
+		servers  int
+		switches int
+	}{
+		{ClosConfig{Radix: 32, Layers: 3}, 8192, 1280},
+		{ClosConfig{Radix: 32, Layers: 4, Pods: 8}, 32768, 7168},
+		{ClosConfig{Radix: 32, Layers: 4}, 131072, 28672},
+	}
+	for _, tc := range cases {
+		if n := tc.cfg.NumServers(); n != tc.servers {
+			t.Errorf("%+v: servers %d, want %d", tc.cfg, n, tc.servers)
+		}
+		if s := tc.cfg.NumSwitches(); s != tc.switches {
+			t.Errorf("%+v: switches %d, want %d", tc.cfg, s, tc.switches)
+		}
+	}
+}
+
+func TestClosBuildSmall(t *testing.T) {
+	top, err := Clos(ClosConfig{Radix: 8, Layers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ClosConfig{Radix: 8, Layers: 3}
+	if top.NumServers() != cfg.NumServers() || top.NumSwitches() != cfg.NumSwitches() {
+		t.Fatalf("built %v, want N=%d sw=%d", top, cfg.NumServers(), cfg.NumSwitches())
+	}
+	if !top.BiRegular() || top.UniRegular() {
+		t.Fatal("Clos must be bi-regular")
+	}
+	// Every switch must use at most R ports; ToRs exactly R.
+	for u := 0; u < top.NumSwitches(); u++ {
+		if p := top.UsedPorts(u); p > 8 {
+			t.Fatalf("switch %d uses %d ports > radix", u, p)
+		}
+	}
+	// ToRs have m=4 servers and m=4 uplinks.
+	for _, u := range top.Hosts() {
+		if top.Servers(u) != 4 || top.Graph().Degree(u) != 4 {
+			t.Fatalf("ToR %d: H=%d deg=%d", u, top.Servers(u), top.Graph().Degree(u))
+		}
+	}
+}
+
+func TestClosPartialDeploymentPorts(t *testing.T) {
+	// Quarter-deployed 3-layer: trunked spine links; full throughput
+	// requires pod egress == pod servers.
+	top, err := Clos(ClosConfig{Radix: 8, Layers: 3, Pods: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < top.NumSwitches(); u++ {
+		if p := top.UsedPorts(u); p > 8 {
+			t.Fatalf("switch %d uses %d ports", u, p)
+		}
+	}
+	if !top.Graph().Connected() {
+		t.Fatal("disconnected")
+	}
+}
+
+func TestFatTree(t *testing.T) {
+	top, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumServers() != 16 || top.NumSwitches() != 20 {
+		t.Fatalf("fat-tree k=4: N=%d sw=%d, want 16/20", top.NumServers(), top.NumSwitches())
+	}
+	if !strings.Contains(top.Name(), "fattree") {
+		t.Errorf("name = %q", top.Name())
+	}
+}
+
+func TestClosErrors(t *testing.T) {
+	cases := []ClosConfig{
+		{Radix: 7, Layers: 3},          // odd radix
+		{Radix: 8, Layers: 1},          // too few layers
+		{Radix: 8, Layers: 3, Pods: 3}, // odd pods
+		{Radix: 8, Layers: 3, Pods: 6}, // does not divide 2m=8
+	}
+	for i, cfg := range cases {
+		if _, err := Clos(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSmallestClosFor(t *testing.T) {
+	got, err := SmallestClosFor(8192, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Servers != 8192 || got.Switches != 1280 {
+		t.Fatalf("got %+v, want 8192 servers / 1280 switches", got)
+	}
+	// A size nothing reaches.
+	if _, err := SmallestClosFor(1<<40, 8, 3); err == nil {
+		t.Error("expected error for unreachable size")
+	}
+}
+
+func TestClosSizesSorted(t *testing.T) {
+	sizes := ClosSizes(16, 4, 1<<20)
+	if len(sizes) == 0 {
+		t.Fatal("no sizes")
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i].Servers < sizes[i-1].Servers {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestWithLinkFailures(t *testing.T) {
+	top := mustJellyfish(t, 60, 12, 6, 5)
+	before := top.Links()
+	failed, err := top.WithLinkFailures(0.1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := before - int(0.1*float64(before))
+	if failed.Links() != want {
+		t.Fatalf("links after failure = %d, want %d", failed.Links(), want)
+	}
+	if failed.NumServers() != top.NumServers() {
+		t.Fatal("failures must not change servers")
+	}
+	if !failed.Graph().Connected() {
+		t.Fatal("disconnected result should have been an error")
+	}
+	if _, err := top.WithLinkFailures(-0.1, 1); err == nil {
+		t.Error("expected error for negative fraction")
+	}
+	if _, err := top.WithLinkFailures(1.0, 1); err == nil {
+		t.Error("expected error for fraction 1")
+	}
+}
+
+func TestExpandPreservesHAndDegree(t *testing.T) {
+	top := mustJellyfish(t, 40, 12, 6, 1)
+	ex, err := Expand(top, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.NumSwitches() != 50 {
+		t.Fatalf("switches = %d", ex.NumSwitches())
+	}
+	if ex.NumServers() != 50*6 {
+		t.Fatalf("servers = %d", ex.NumServers())
+	}
+	deg := 6
+	for u := 0; u < ex.NumSwitches(); u++ {
+		if d := ex.Graph().Degree(u); d != deg {
+			t.Fatalf("switch %d degree %d, want %d", u, d, deg)
+		}
+	}
+	// Total links preserved per splice: each splice removes 1, adds 2.
+	if ex.Links() != top.Links()+10*(deg/2) {
+		t.Fatalf("links = %d", ex.Links())
+	}
+}
+
+func TestExpandRejectsNonUniform(t *testing.T) {
+	ct, err := Clos(ClosConfig{Radix: 8, Layers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Expand(ct, 2, 1); err == nil {
+		t.Error("expected error expanding bi-regular Clos")
+	}
+	top := mustJellyfish(t, 30, 10, 5, 2)
+	if _, err := Expand(top, 0, 1); err == nil {
+		t.Error("expected error for zero addSwitches")
+	}
+}
+
+func BenchmarkJellyfish500(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Jellyfish(JellyfishConfig{Switches: 500, Radix: 16, Servers: 8, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXpander500(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Xpander(XpanderConfig{Switches: 500, Radix: 16, Servers: 8, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClos4Layer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Clos(ClosConfig{Radix: 8, Layers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package topo
+
+import (
+	"fmt"
+
+	"dctopo/internal/graph"
+)
+
+// VL2Config describes a VL2 fabric [Greenberg et al., SIGCOMM'09]: ToRs
+// with two uplinks, an aggregation layer, and an intermediate layer that
+// forms a complete bipartite graph with the aggregation layer. VL2's
+// switch links run at a multiple of the server line rate; LinkCapacity
+// expresses that multiple (the canonical deployment uses 10G links over
+// 1G servers, i.e. 10).
+type VL2Config struct {
+	AggPorts      int // D_A: ports per aggregation switch (even)
+	IntPorts      int // D_I: ports per intermediate switch
+	ServersPerToR int // canonical VL2 uses 20
+	LinkCapacity  int // switch-link capacity in server line rates (default 10)
+}
+
+// NumToRs returns the ToR count, D_A·D_I/4.
+func (c VL2Config) NumToRs() int { return c.AggPorts * c.IntPorts / 4 }
+
+// NumServers returns the server count.
+func (c VL2Config) NumServers() int { return c.NumToRs() * c.ServersPerToR }
+
+// VL2 generates the topology: D_A·D_I/4 ToRs each wired to two
+// aggregation switches, D_I aggregation switches, and D_A/2 intermediate
+// switches in a complete bipartite graph with the aggregation layer.
+func VL2(cfg VL2Config) (*Topology, error) {
+	if cfg.LinkCapacity == 0 {
+		cfg.LinkCapacity = 10
+	}
+	da, di := cfg.AggPorts, cfg.IntPorts
+	switch {
+	case da < 2 || da%2 != 0:
+		return nil, fmt.Errorf("topo: VL2 needs even AggPorts >= 2, got %d", da)
+	case di < 2:
+		return nil, fmt.Errorf("topo: VL2 needs IntPorts >= 2, got %d", di)
+	case cfg.ServersPerToR < 1:
+		return nil, fmt.Errorf("topo: VL2 needs ServersPerToR >= 1")
+	case cfg.LinkCapacity < 1:
+		return nil, fmt.Errorf("topo: VL2 needs positive LinkCapacity")
+	}
+	nTor := cfg.NumToRs()
+	nAgg := di
+	nInt := da / 2
+	total := nTor + nAgg + nInt
+	b := graph.NewBuilder(total)
+	servers := make([]int, total)
+	aggID := func(a int) int { return nTor + a }
+	intID := func(i int) int { return nTor + nAgg + i }
+
+	for t := 0; t < nTor; t++ {
+		servers[t] = cfg.ServersPerToR
+		// Two uplinks to consecutive aggregation switches.
+		b.AddEdgeMult(t, aggID((2*t)%di), cfg.LinkCapacity)
+		b.AddEdgeMult(t, aggID((2*t+1)%di), cfg.LinkCapacity)
+	}
+	for a := 0; a < nAgg; a++ {
+		for i := 0; i < nInt; i++ {
+			b.AddEdgeMult(aggID(a), intID(i), cfg.LinkCapacity)
+		}
+	}
+	name := fmt.Sprintf("vl2(DA=%d,DI=%d)", da, di)
+	return New(name, b.Build(), servers)
+}

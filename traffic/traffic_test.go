@@ -1,0 +1,247 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"dctopo/topo"
+)
+
+func testTopo(t *testing.T) *topo.Topology {
+	t.Helper()
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 20, Radix: 8, Servers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestFromPermutationUniform(t *testing.T) {
+	top := testTopo(t)
+	n := len(top.Hosts())
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = (i + 1) % n
+	}
+	m, err := FromPermutation(top, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Demands) != n {
+		t.Fatalf("%d demands, want %d", len(m.Demands), n)
+	}
+	for _, d := range m.Demands {
+		if d.Amount != 4 {
+			t.Fatalf("demand %v, want 4", d.Amount)
+		}
+	}
+	if !HoseAdmissible(top, m) {
+		t.Fatal("permutation TM must be hose-admissible")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromPermutationFixedPointsSkipped(t *testing.T) {
+	top := testTopo(t)
+	n := len(top.Hosts())
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i // identity: all fixed points
+	}
+	m, err := FromPermutation(top, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Demands) != 0 {
+		t.Fatalf("identity perm should yield no demands, got %d", len(m.Demands))
+	}
+}
+
+func TestFromPermutationErrors(t *testing.T) {
+	top := testTopo(t)
+	if _, err := FromPermutation(top, []int{0, 1}); err == nil {
+		t.Error("expected length error")
+	}
+	n := len(top.Hosts())
+	bad := make([]int, n)
+	bad[0] = n + 5
+	if _, err := FromPermutation(top, bad); err == nil {
+		t.Error("expected range error")
+	}
+}
+
+func TestFromPermutationMinServers(t *testing.T) {
+	// FatClique-style: server counts differ by one; demand is the min.
+	fc, err := topo.FatClique(topo.FatCliqueConfig{SubBlockSize: 3, SubBlocks: 2, Blocks: 2, BlockPorts: 1, GlobalPorts: 1, TotalServers: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(fc.Hosts())
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = (i + 1) % n
+	}
+	m, err := FromPermutation(fc, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range m.Demands {
+		want := float64(min(fc.Servers(d.Src), fc.Servers(d.Dst)))
+		if d.Amount != want {
+			t.Fatalf("demand (%d,%d) = %v, want %v", d.Src, d.Dst, d.Amount, want)
+		}
+	}
+	if !HoseAdmissible(fc, m) {
+		t.Fatal("must be hose-admissible")
+	}
+}
+
+func TestRandomPermutationIsDerangement(t *testing.T) {
+	top := testTopo(t)
+	for seed := uint64(0); seed < 20; seed++ {
+		m := RandomPermutation(top, seed)
+		if len(m.Demands) != len(top.Hosts()) {
+			t.Fatalf("seed %d: %d demands, want %d (derangement)", seed, len(m.Demands), len(top.Hosts()))
+		}
+		send, recv := m.Rates()
+		for _, u := range top.Hosts() {
+			if send[u] != 4 || recv[u] != 4 {
+				t.Fatalf("seed %d: switch %d rates %v/%v", seed, u, send[u], recv[u])
+			}
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRandomPermutationDeterministic(t *testing.T) {
+	top := testTopo(t)
+	a := RandomPermutation(top, 42)
+	b := RandomPermutation(top, 42)
+	if len(a.Demands) != len(b.Demands) {
+		t.Fatal("non-deterministic")
+	}
+	for i := range a.Demands {
+		if a.Demands[i] != b.Demands[i] {
+			t.Fatal("non-deterministic demand")
+		}
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	top := testTopo(t)
+	m := AllToAll(top)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !HoseAdmissible(top, m) {
+		t.Fatal("all-to-all must be hose-admissible")
+	}
+	nh := len(top.Hosts())
+	if len(m.Demands) != nh*(nh-1) {
+		t.Fatalf("%d demands, want %d", len(m.Demands), nh*(nh-1))
+	}
+	send, _ := m.Rates()
+	// Row sums: H_u(N-H_u)/N < H_u.
+	wantRow := 4.0 * float64(top.NumServers()-4) / float64(top.NumServers())
+	for _, u := range top.Hosts() {
+		if math.Abs(send[u]-wantRow) > 1e-9 {
+			t.Fatalf("row sum %v, want %v", send[u], wantRow)
+		}
+	}
+}
+
+func TestValidateCatchesBadMatrices(t *testing.T) {
+	bads := []*Matrix{
+		{Switches: 3, Demands: []Demand{{0, 3, 1}}},
+		{Switches: 3, Demands: []Demand{{1, 1, 1}}},
+		{Switches: 3, Demands: []Demand{{0, 1, 0}}},
+		{Switches: 3, Demands: []Demand{{0, 1, 1}, {0, 1, 2}}},
+	}
+	for i, m := range bads {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestTotalAndRates(t *testing.T) {
+	m := &Matrix{Switches: 4, Demands: []Demand{{0, 1, 2}, {1, 2, 3}, {2, 0, 1}}}
+	if m.Total() != 6 {
+		t.Fatalf("Total = %v", m.Total())
+	}
+	send, recv := m.Rates()
+	if send[0] != 2 || send[1] != 3 || recv[2] != 3 || recv[0] != 1 {
+		t.Fatalf("rates wrong: %v %v", send, recv)
+	}
+}
+
+func TestStride(t *testing.T) {
+	top := testTopo(t)
+	m, err := Stride(top, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Demands) != len(top.Hosts()) {
+		t.Fatalf("%d demands", len(m.Demands))
+	}
+	if !HoseAdmissible(top, m) {
+		t.Fatal("stride must be hose-admissible")
+	}
+	// Stride wraps: negative and >n strides normalize.
+	if _, err := Stride(top, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stride(top, 0); err == nil {
+		t.Error("stride 0 should error")
+	}
+	if _, err := Stride(top, len(top.Hosts())); err == nil {
+		t.Error("stride n should error")
+	}
+}
+
+func TestHotspot(t *testing.T) {
+	top := testTopo(t)
+	hot := top.Hosts()[0]
+	m, err := Hotspot(top, hot, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HoseAdmissible(top, m) {
+		t.Fatal("hotspot must be hose-admissible")
+	}
+	_, recv := m.Rates()
+	if math.Abs(recv[hot]-float64(top.Servers(hot))) > 1e-9 {
+		t.Fatalf("hot ingress %v, want %v", recv[hot], float64(top.Servers(hot)))
+	}
+	// With background traffic it must stay admissible on a uniform-H
+	// topology.
+	mb, err := Hotspot(top, hot, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HoseAdmissible(top, mb) {
+		t.Fatal("hotspot+background must be hose-admissible on uniform H")
+	}
+	if err := mb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Errors: a switch with no servers is not a valid hot spot.
+	cl, err := topo.Clos(topo.ClosConfig{Radix: 8, Layers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spine := -1
+	for u := 0; u < cl.NumSwitches(); u++ {
+		if cl.Servers(u) == 0 {
+			spine = u
+			break
+		}
+	}
+	if _, err := Hotspot(cl, spine, false); err == nil {
+		t.Error("expected error for server-less hot switch")
+	}
+}

@@ -1,0 +1,109 @@
+package tub
+
+import (
+	"math"
+	"testing"
+
+	"dctopo/topo"
+)
+
+func TestF10ConjectureBoundIsOne(t *testing.T) {
+	// §4.1: the paper conjectures F10 has full throughput. TUB, the bound
+	// side of that conjecture, is 1 exactly as for Clos.
+	for _, k := range []int{4, 6, 8} {
+		f10, err := topo.F10(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Bound(f10, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Bound-1) > 1e-9 {
+			t.Fatalf("F10(k=%d) TUB = %v, want 1", k, res.Bound)
+		}
+	}
+}
+
+func TestDragonflyBound(t *testing.T) {
+	// §7: TUB applies to Dragonfly (it is uni-regular). A balanced
+	// full-scale Dragonfly has diameter <= 3, so the bound is
+	// (a-1+h)/(p·d̄) with d̄ <= 3.
+	df, err := topo.Dragonfly(topo.Balanced(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Bound(df, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bound <= 0 || math.IsInf(res.Bound, 0) {
+		t.Fatalf("bad bound %v", res.Bound)
+	}
+	// Degree 11 (a-1+h = 7+4), H = 4: with every maximal pair at the
+	// diameter 3, the bound floors at 11/12; it cannot be below that.
+	if res.Bound < 11.0/12.0-1e-9 {
+		t.Fatalf("dragonfly bound %v below diameter floor %v", res.Bound, 11.0/12.0)
+	}
+}
+
+func TestSlimFlyBound(t *testing.T) {
+	// Slim Fly has diameter 2, so TUB = degree/(2H) when all maximal
+	// pairs sit at distance 2.
+	sf, err := topo.SlimFly(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Bound(sf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := float64(3*5-1) / 2 // 7
+	want := deg / (3 * 2)
+	if math.Abs(res.Bound-want) > 1e-9 {
+		t.Fatalf("slimfly TUB = %v, want %v", res.Bound, want)
+	}
+}
+
+func TestSlimFlyFullThroughputWithFewServers(t *testing.T) {
+	// With H <= degree/2 = 3 (q=5), TUB >= 1: a diameter-2 network keeps
+	// full throughput while H stays within half the network degree.
+	sf, err := topo.SlimFly(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Bound(sf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bound < 1 {
+		t.Fatalf("TUB = %v, want >= 1 at H=3", res.Bound)
+	}
+	sf2, err := topo.SlimFly(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Bound(sf2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Bound >= 1 {
+		t.Fatalf("TUB = %v at H=4, want < 1 (7 network ports, 2 hops)", res2.Bound)
+	}
+}
+
+func TestVL2BoundIsOne(t *testing.T) {
+	// Canonical VL2 (20 1G servers per ToR, two 10G uplinks) is a
+	// rebalanced Clos: TUB = 1.
+	v, err := topo.VL2(topo.VL2Config{AggPorts: 8, IntPorts: 6, ServersPerToR: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Bound(v, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Bound-1) > 1e-9 {
+		t.Fatalf("VL2 TUB = %v, want 1", res.Bound)
+	}
+}

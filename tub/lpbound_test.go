@@ -1,0 +1,83 @@
+package tub
+
+import (
+	"math"
+	"testing"
+
+	"dctopo/topo"
+)
+
+func TestBoundLPEqualsMatchingOnUniformH(t *testing.T) {
+	// With uniform H, Theorem 2.1 says permutations are extremal, so the
+	// transportation LP's optimum equals the matching's.
+	for seed := uint64(0); seed < 3; seed++ {
+		top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 24, Radix: 8, Servers: 4, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Bound(top, Options{Matcher: ExactMatcher})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpb, err := BoundLP(top)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.Bound-lpb) > 1e-7 {
+			t.Fatalf("seed %d: matching bound %v != LP bound %v", seed, m.Bound, lpb)
+		}
+	}
+}
+
+func TestBoundLPAtMostMatchingWhenHVaries(t *testing.T) {
+	// With ±1 server counts the LP searches a superset of the permutation
+	// set, so its optimum is >= the matching total and the bound is <=.
+	fc, err := topo.FatClique(topo.FatCliqueConfig{
+		SubBlockSize: 3, SubBlocks: 3, Blocks: 3, BlockPorts: 2, GlobalPorts: 2,
+		TotalServers: 230, // 27 switches → H ∈ {8,9}, the paper's ±1 regime
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Bound(fc, Options{Matcher: ExactMatcher})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpb, err := BoundLP(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lpb > m.Bound+1e-9 {
+		t.Fatalf("LP bound %v above matching bound %v", lpb, m.Bound)
+	}
+	// The §I claim: the difference is negligible when H differs by one
+	// relative to a realistic H (here 8–9; at tiny H the ±1 is a large
+	// relative perturbation and the gap widens).
+	if m.Bound-lpb > 0.05*m.Bound {
+		t.Fatalf("LP bound %v far below matching bound %v", lpb, m.Bound)
+	}
+}
+
+func TestBoundLPClosIsOne(t *testing.T) {
+	cl, err := topo.Clos(topo.ClosConfig{Radix: 8, Layers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpb, err := BoundLP(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lpb-1) > 1e-7 {
+		t.Fatalf("Clos LP bound = %v, want 1", lpb)
+	}
+}
+
+func TestBoundLPSizeLimit(t *testing.T) {
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 200, Radix: 16, Servers: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BoundLP(top); err == nil {
+		t.Error("expected size-limit error")
+	}
+}

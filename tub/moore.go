@@ -1,0 +1,168 @@
+package tub
+
+import (
+	"errors"
+	"math"
+)
+
+// MooreBound returns the maximum number of nodes a graph of the given
+// degree and diameter can have (the Moore bound [39]):
+//
+//	1 + r·Σ_{i=0}^{d-1} (r−1)^i.
+//
+// It saturates at math.MaxInt64 on overflow.
+func MooreBound(degree, diameter int) int64 {
+	if degree <= 0 || diameter < 0 {
+		return 1
+	}
+	total := int64(1)
+	layer := int64(degree)
+	for i := 0; i < diameter; i++ {
+		total += layer
+		if total < 0 {
+			return math.MaxInt64
+		}
+		if degree <= 2 {
+			continue // layer stays degree (ring); degree 1 handled above
+		}
+		if layer > math.MaxInt64/int64(degree-1) {
+			return math.MaxInt64
+		}
+		layer *= int64(degree - 1)
+	}
+	return total
+}
+
+// MooreMinDiameter returns the minimum diameter any graph with n nodes of
+// the given degree can have.
+func MooreMinDiameter(n int64, degree int) int {
+	if n <= 1 {
+		return 0
+	}
+	if degree <= 1 {
+		if n <= 2 {
+			return 1
+		}
+		return math.MaxInt32 // a 1-regular graph cannot hold more than 2 nodes
+	}
+	for d := 1; ; d++ {
+		if MooreBound(degree, d) >= n {
+			return d
+		}
+	}
+}
+
+// wSum returns D = Σ_{m=1}^{d} W_m from Theorem 4.1, where W_m is a lower
+// bound on the number of switches at distance >= m from any switch
+// (Lemma 8.1):
+//
+//	W_m = n − 1 − r·((r−1)^{m−1} − 1)/(r−2)       (r ≠ 2)
+//	W_m = n − 1 − 2(m−1)                           (r = 2)
+//
+// with n = N/H switches and r = R−H the switch-to-switch degree.
+func wSum(nSwitches int64, degree, d int) float64 {
+	var sum float64
+	for m := 1; m <= d; m++ {
+		var reach float64 // switches strictly closer than m
+		if degree == 2 {
+			reach = 2 * float64(m-1)
+		} else {
+			reach = float64(degree) * (math.Pow(float64(degree-1), float64(m-1)) - 1) / float64(degree-2)
+		}
+		w := float64(nSwitches) - 1 - reach
+		if w < 0 {
+			w = 0
+		}
+		sum += w
+	}
+	return sum
+}
+
+// UniRegularBound evaluates Theorem 4.1: an upper bound on the throughput
+// of ANY uni-regular topology with N servers, radix R, and H servers per
+// switch, independent of wiring and routing:
+//
+//	θ* ≤ N(R−H) / (H²·D),  D = Σ_{m=1}^{d} W_m,
+//
+// with d the Moore minimum diameter for N/H switches of degree R−H.
+// It returns an error for invalid parameters (H must divide N; R−H ≥ 2).
+func UniRegularBound(n int64, radix, servers int) (float64, error) {
+	r := radix - servers
+	switch {
+	case servers < 1:
+		return 0, errors.New("tub: servers per switch must be >= 1")
+	case r < 2:
+		return 0, errors.New("tub: switch degree R-H must be >= 2")
+	case n <= 0 || n%int64(servers) != 0:
+		return 0, errors.New("tub: N must be a positive multiple of H")
+	}
+	nSw := n / int64(servers)
+	if nSw < 2 {
+		return 0, errors.New("tub: need at least 2 switches")
+	}
+	d := MooreMinDiameter(nSw, r)
+	den := float64(servers) * float64(servers) * wSum(nSw, r, d)
+	if den <= 0 {
+		return math.Inf(1), nil
+	}
+	return float64(n) * float64(r) / den, nil
+}
+
+// MaxServersEq3 returns the largest N (a multiple of H) satisfying the
+// Equation 3 necessary condition for a full-throughput uni-regular
+// topology: D ≤ N(R−H)/H², i.e. UniRegularBound(N) >= 1. Beyond this N no
+// uni-regular topology with these parameters can have full throughput
+// (Corollary 1). The searched range is capped at maxN (0 means 2^40).
+func MaxServersEq3(radix, servers int, maxN int64) (int64, error) {
+	if maxN <= 0 {
+		maxN = 1 << 40
+	}
+	h := int64(servers)
+	// The bound is not strictly monotone in N (it jumps when the Moore
+	// diameter increments), but the condition "bound >= 1" flips once and
+	// for all at a single frontier for all practical parameters; we scan
+	// geometrically for an upper bracket, then binary search, then verify
+	// by local scan.
+	lo, hi := h*2, h*2
+	for {
+		b, err := UniRegularBound(hi, radix, servers)
+		if err != nil {
+			return 0, err
+		}
+		if b < 1 {
+			break
+		}
+		lo = hi
+		if hi > maxN/2 {
+			return maxN - maxN%h, nil // condition holds up to the cap
+		}
+		hi *= 2
+	}
+	for hi-lo > h {
+		mid := (lo + hi) / 2
+		mid -= mid % h
+		if mid <= lo {
+			mid = lo + h
+		}
+		b, err := UniRegularBound(mid, radix, servers)
+		if err != nil {
+			return 0, err
+		}
+		if b >= 1 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// NStar returns the Corollary 1 threshold N*(R,H): the smallest N at and
+// beyond which no uni-regular topology can have full throughput.
+func NStar(radix, servers int, maxN int64) (int64, error) {
+	n, err := MaxServersEq3(radix, servers, maxN)
+	if err != nil {
+		return 0, err
+	}
+	return n + int64(servers), nil
+}

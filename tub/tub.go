@@ -1,0 +1,244 @@
+// Package tub implements the paper's primary contribution: TUB, a
+// closed-form, routing-independent throughput upper bound for uni-regular
+// and bi-regular datacenter topologies.
+//
+// Theorem 2.2 (with the §I generalization to per-switch server counts,
+// Equation 18) bounds the topology throughput θ* by
+//
+//	θ* ≤ 2E / Σ_{(u,v)} min(H_u, H_v) · L_uv · 1[t_uv > 0]
+//
+// minimized over permutation traffic matrices, where E is the number of
+// switch-to-switch links and L_uv the shortest-path length between host
+// switches. By Theorem 2.1 permutation matrices suffice, and the
+// minimizing permutation — the maximal permutation traffic matrix — is a
+// maximum-weight perfect matching over pairwise distances, computed here
+// with exact (Jonker–Volgenant), auction, or greedy (the paper's
+// Algorithm 1) matchers.
+//
+// The package also provides the all-topology asymptotic bound of
+// Theorem 4.1 built on the Moore bound, the Equation 3 scaling limit, the
+// throughput lower bound of Theorem 8.4, and the theoretical gap of
+// Figure A.1.
+package tub
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dctopo/internal/match"
+	"dctopo/topo"
+	"dctopo/traffic"
+)
+
+// Matcher selects the algorithm for the maximum-weight perfect matching
+// underlying the maximal permutation.
+type Matcher int
+
+// Matchers.
+const (
+	// AutoMatcher picks Exact for small host sets, Auction for medium,
+	// Greedy beyond.
+	AutoMatcher Matcher = iota
+	// ExactMatcher uses Jonker–Volgenant, O(n³) worst case.
+	ExactMatcher
+	// AuctionMatcher uses ε-scaling auction, exact on integer weights.
+	AuctionMatcher
+	// GreedyMatcher uses the paper's Algorithm 1 farthest-pair heuristic
+	// (yields a valid but possibly slightly looser, i.e. higher, bound).
+	GreedyMatcher
+)
+
+// Auto matcher size thresholds (host switch counts).
+const (
+	autoExactMax   = 384
+	autoAuctionMax = 6000
+)
+
+// Options configures Bound.
+type Options struct {
+	Matcher Matcher
+}
+
+// Result is the output of Bound.
+type Result struct {
+	// Bound is the TUB value: an upper bound on the topology's worst-case
+	// throughput θ* under any routing.
+	Bound float64
+	// Perm is the maximal permutation over host indices: host i sends to
+	// host Perm[i] (indices into Topology.Hosts()). Fixed points carry no
+	// demand.
+	Perm []int
+	// WeightedLen is Σ min(H_u,H_v)·L_uv over the permutation's pairs —
+	// the denominator of Equation 18.
+	WeightedLen int64
+	// TwoE is Σ_u (R_u − H_u) = 2·links, the numerator.
+	TwoE int
+	// Dist[i][j] is the switch-graph hop distance between hosts i and j
+	// (host indices).
+	Dist [][]uint8
+}
+
+// Bound computes the throughput upper bound of Theorem 2.2 / Equation 18
+// for a topology.
+func Bound(t *topo.Topology, opt Options) (*Result, error) {
+	hosts := t.Hosts()
+	n := len(hosts)
+	if n < 2 {
+		return nil, errors.New("tub: need at least 2 host switches")
+	}
+	dist, err := HostDistances(t)
+	if err != nil {
+		return nil, err
+	}
+	h := make([]int64, n)
+	for i, u := range hosts {
+		h[i] = int64(t.Servers(u))
+	}
+	weight := func(i, j int) int64 {
+		w := h[i]
+		if h[j] < w {
+			w = h[j]
+		}
+		return int64(dist[i][j]) * w
+	}
+
+	m := opt.Matcher
+	if m == AutoMatcher {
+		switch {
+		case n <= autoExactMax:
+			m = ExactMatcher
+		case n <= autoAuctionMax:
+			m = AuctionMatcher
+		default:
+			m = GreedyMatcher
+		}
+	}
+	var res *match.Result
+	switch m {
+	case ExactMatcher:
+		res = match.Exact(n, weight)
+	case AuctionMatcher:
+		res = match.Auction(n, weight)
+	case GreedyMatcher:
+		res = match.Greedy(n, weight)
+	default:
+		return nil, fmt.Errorf("tub: unknown matcher %d", m)
+	}
+
+	out := &Result{
+		Perm:        res.Col,
+		WeightedLen: res.Total,
+		TwoE:        2 * t.Links(),
+		Dist:        dist,
+	}
+	if out.WeightedLen <= 0 {
+		return nil, errors.New("tub: degenerate maximal permutation (zero total path length)")
+	}
+	out.Bound = float64(out.TwoE) / float64(out.WeightedLen)
+	return out, nil
+}
+
+// HostDistances returns the pairwise hop distances between host switches,
+// indexed by position in Topology.Hosts(). Distances are measured on the
+// full switch graph (transit-only switches shorten paths but never appear
+// as endpoints). The per-source BFS runs on up to GOMAXPROCS goroutines —
+// this is the dominant cost of Bound at large scale.
+func HostDistances(t *topo.Topology) ([][]uint8, error) {
+	g := t.Graph()
+	hosts := t.Hosts()
+	n := len(hosts)
+	pos := make([]int32, g.N())
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, u := range hosts {
+		pos[u] = int32(i)
+	}
+	out := make([][]uint8, n)
+	backing := make([]uint8, n*n)
+	for i := range out {
+		out[i] = backing[i*n : (i+1)*n]
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	var bad atomic.Int32 // 0 ok, 1 disconnected, 2 overflow
+	next := atomic.Int64{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dist := make([]int32, g.N())
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || bad.Load() != 0 {
+					return
+				}
+				dist = g.BFS(hosts[i], dist)
+				row := out[i]
+				for v, d := range dist {
+					j := pos[v]
+					if j < 0 {
+						continue
+					}
+					if d < 0 {
+						bad.Store(1)
+						return
+					}
+					if d > 254 {
+						bad.Store(2)
+						return
+					}
+					row[j] = uint8(d)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	switch bad.Load() {
+	case 1:
+		return nil, errors.New("tub: topology disconnected")
+	case 2:
+		return nil, fmt.Errorf("tub: distance exceeds uint8 range")
+	}
+	return out, nil
+}
+
+// Matrix converts the maximal permutation into a saturated switch-level
+// traffic matrix (the paper's worst-case TM, routable with mcf to measure
+// the throughput gap).
+func (r *Result) Matrix(t *topo.Topology) (*traffic.Matrix, error) {
+	return traffic.FromPermutation(t, r.Perm)
+}
+
+// LowerBound evaluates Theorem 8.4 for the maximal permutation: a lower
+// bound on the throughput achievable when routing may use all paths of
+// length up to shortest+slack (the paper's additive path length M),
+// assuming saturated ingress (the paper's Assumption 1):
+//
+//	θ(T) ≥ 2E / (N·M + Σ min(H_u,H_v)·L_uv).
+//
+// The difference Bound − LowerBound is the paper's "theoretical
+// throughput gap" (Figure A.1).
+func (r *Result) LowerBound(t *topo.Topology, slack int) float64 {
+	if slack < 0 {
+		slack = 0
+	}
+	den := float64(t.NumServers())*float64(slack) + float64(r.WeightedLen)
+	return float64(r.TwoE) / den
+}
+
+// TheoreticalGap returns Bound − LowerBound(slack), clamped at 0.
+func (r *Result) TheoreticalGap(t *topo.Topology, slack int) float64 {
+	g := r.Bound - r.LowerBound(t, slack)
+	if g < 0 {
+		return 0
+	}
+	return g
+}
