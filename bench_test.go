@@ -6,7 +6,9 @@
 package dctopo_test
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"dctopo/estimators"
@@ -14,6 +16,7 @@ import (
 	"dctopo/internal/match"
 	"dctopo/mcf"
 	"dctopo/topo"
+	"dctopo/traffic"
 	"dctopo/tub"
 )
 
@@ -174,6 +177,83 @@ func BenchmarkFigA5KSweep(b *testing.B) {
 		if _, err := expt.RunFigA5(p); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- parallel ground-truth pipeline benches ---
+
+// benchWorkerCounts is the deduplicated {1, 2, GOMAXPROCS} sweep the
+// parallel benchmarks run at; on multicore hardware the GOMAXPROCS run
+// should show the speedup while producing byte-identical results.
+func benchWorkerCounts() []int {
+	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	var out []int
+	for _, w := range counts {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// BenchmarkKShortestParallel measures the sharded Yen KSP stage.
+func BenchmarkKShortestParallel(b *testing.B) {
+	t := benchTopology(b, 80, 12, 4)
+	tm := traffic.RandomPermutation(t, 1)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mcf.KShortestWorkers(t, tm, 16, w)
+			}
+		})
+	}
+}
+
+// BenchmarkGKParallel measures the round-parallel Garg–Könemann solve
+// and reports the achieved θ so the perf trajectory can be tracked
+// alongside solution quality.
+func BenchmarkGKParallel(b *testing.B) {
+	t := benchTopology(b, 100, 12, 5)
+	tm := traffic.RandomPermutation(t, 1)
+	paths := mcf.KShortest(t, tm, 12)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			theta := 0.0
+			for i := 0; i < b.N; i++ {
+				th, err := mcf.Throughput(t, tm, paths, mcf.Options{Method: mcf.Approx, Eps: 0.03, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				theta = th
+			}
+			b.ReportMetric(theta, "theta")
+		})
+	}
+}
+
+// BenchmarkFig3ThroughputGapParallel is BenchmarkFig3ThroughputGap swept
+// over worker counts: the end-to-end KSP-MCF-bound sweep whose speedup
+// the parallel pipeline targets. θ of the last row is reported so the
+// byte-identical-results guarantee is visible in the metrics.
+func BenchmarkFig3ThroughputGapParallel(b *testing.B) {
+	for _, w := range benchWorkerCounts() {
+		p := expt.Fig3Params{
+			Family: expt.FamilyJellyfish, Radix: 10, Servers: []int{4},
+			Switches: []int{24, 54}, K: 8, Seed: 1, Workers: w,
+		}
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			theta := 0.0
+			for i := 0; i < b.N; i++ {
+				r, err := expt.RunFig3(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				theta = r.Rows[len(r.Rows)-1].Theta
+			}
+			b.ReportMetric(theta, "theta")
+		})
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -92,6 +93,38 @@ func (tf *topoFlags) register(fs *flag.FlagSet) {
 	fs.Uint64Var(&tf.seed, "seed", 1, "RNG seed")
 }
 
+// runFlags registers the shared execution flags: the worker-pool size
+// for the parallel stages and an optional pprof CPU profile.
+type runFlags struct {
+	workers    int
+	cpuprofile string
+}
+
+func (rf *runFlags) register(fs *flag.FlagSet) {
+	fs.IntVar(&rf.workers, "workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS); results are identical for any value")
+	fs.StringVar(&rf.cpuprofile, "cpuprofile", "", "write a pprof CPU profile to this file")
+}
+
+// profile starts CPU profiling when -cpuprofile was given and returns
+// the stop function (a no-op otherwise).
+func (rf *runFlags) profile() (stop func(), err error) {
+	if rf.cpuprofile == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(rf.cpuprofile)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
 func (tf *topoFlags) build() (*topo.Topology, error) {
 	switch tf.family {
 	case "jellyfish", "xpander", "fatclique":
@@ -147,7 +180,9 @@ func cmdGen(args []string) error {
 func cmdTub(args []string) error {
 	fs := flag.NewFlagSet("tub", flag.ExitOnError)
 	var tf topoFlags
+	var rf runFlags
 	tf.register(fs)
+	rf.register(fs)
 	matcher := fs.String("matcher", "auto", "auto | exact | auction | greedy")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -156,6 +191,11 @@ func cmdTub(args []string) error {
 	if err != nil {
 		return err
 	}
+	stop, err := rf.profile()
+	if err != nil {
+		return err
+	}
+	defer stop()
 	var m tub.Matcher
 	switch *matcher {
 	case "auto":
@@ -187,7 +227,9 @@ func cmdTub(args []string) error {
 func cmdMetrics(args []string) error {
 	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
 	var tf topoFlags
+	var rf runFlags
 	tf.register(fs)
+	rf.register(fs)
 	k := fs.Int("k", 8, "paths per pair for the flow heuristics")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -196,6 +238,11 @@ func cmdMetrics(args []string) error {
 	if err != nil {
 		return err
 	}
+	stop, err := rf.profile()
+	if err != nil {
+		return err
+	}
+	defer stop()
 	fmt.Println(t)
 
 	timed := func(name string, fn func() (string, error)) {
@@ -236,7 +283,7 @@ func cmdMetrics(args []string) error {
 	if err != nil {
 		return err
 	}
-	paths := mcf.KShortest(t, tm, *k)
+	paths := mcf.KShortestWorkers(t, tm, *k, rf.workers)
 	timed("hoefler", func() (string, error) {
 		e, err := estimators.Hoefler(t, tm, paths)
 		return fmt.Sprintf("min=%.4f mean=%.4f", e.MinRatio, e.MeanRatio), err
@@ -251,7 +298,9 @@ func cmdMetrics(args []string) error {
 func cmdMCF(args []string) error {
 	fs := flag.NewFlagSet("mcf", flag.ExitOnError)
 	var tf topoFlags
+	var rf runFlags
 	tf.register(fs)
+	rf.register(fs)
 	k := fs.Int("k", 16, "paths per pair (KSP-MCF)")
 	method := fs.String("method", "auto", "auto | exact | approx")
 	eps := fs.Float64("eps", 0.02, "Garg–Könemann ε")
@@ -281,9 +330,14 @@ func cmdMCF(args []string) error {
 	default:
 		return fmt.Errorf("unknown method %q", *method)
 	}
+	stop, err := rf.profile()
+	if err != nil {
+		return err
+	}
+	defer stop()
 	start := time.Now()
-	paths := mcf.KShortest(t, tm, *k)
-	theta, err := mcf.Throughput(t, tm, paths, mcf.Options{Method: m, Eps: *eps})
+	paths := mcf.KShortestWorkers(t, tm, *k, rf.workers)
+	theta, err := mcf.Throughput(t, tm, paths, mcf.Options{Method: m, Eps: *eps, Workers: rf.workers})
 	if err != nil {
 		return err
 	}
@@ -297,6 +351,17 @@ func cmdExpt(args []string) error {
 		return fmt.Errorf("expt needs an experiment id")
 	}
 	id := args[0]
+	fs := flag.NewFlagSet("expt", flag.ExitOnError)
+	var rf runFlags
+	rf.register(fs)
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	stop, err := rf.profile()
+	if err != nil {
+		return err
+	}
+	defer stop()
 	print := func(tabs ...*expt.Table) {
 		for _, t := range tabs {
 			fmt.Println(t.String())
@@ -305,20 +370,26 @@ func cmdExpt(args []string) error {
 	switch id {
 	case "fig3":
 		for _, f := range []expt.Family{expt.FamilyJellyfish, expt.FamilyXpander, expt.FamilyFatClique} {
-			r, err := expt.RunFig3(expt.DefaultFig3(f))
+			p := expt.DefaultFig3(f)
+			p.Workers = rf.workers
+			r, err := expt.RunFig3(p)
 			if err != nil {
 				return err
 			}
 			print(r.Table())
 		}
 	case "fig4":
-		r, err := expt.RunFig4(expt.DefaultFig4())
+		p := expt.DefaultFig4()
+		p.Workers = rf.workers
+		r, err := expt.RunFig4(p)
 		if err != nil {
 			return err
 		}
 		print(r.Table())
 	case "fig5":
-		r, err := expt.RunFig5(expt.DefaultFig5())
+		p := expt.DefaultFig5()
+		p.Workers = rf.workers
+		r, err := expt.RunFig5(p)
 		if err != nil {
 			return err
 		}
@@ -344,7 +415,9 @@ func cmdExpt(args []string) error {
 		}
 		print(r.Table())
 	case "fig10":
-		r, err := expt.RunFig10(expt.DefaultFig10())
+		p := expt.DefaultFig10()
+		p.Workers = rf.workers
+		r, err := expt.RunFig10(p)
 		if err != nil {
 			return err
 		}
@@ -398,7 +471,9 @@ func cmdExpt(args []string) error {
 		}
 		print(r.Tables()...)
 	case "routing":
-		r, err := expt.RunRouting(expt.DefaultRouting())
+		p := expt.DefaultRouting()
+		p.Workers = rf.workers
+		r, err := expt.RunRouting(p)
 		if err != nil {
 			return err
 		}
@@ -417,15 +492,23 @@ func cmdExpt(args []string) error {
 
 func cmdReport(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	var rf runFlags
+	rf.register(fs)
 	markdown := fs.Bool("markdown", false, "emit markdown tables")
 	heavy := fs.Bool("heavy", false, "also run the paper-scale demonstrations (minutes)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stop, err := rf.profile()
+	if err != nil {
+		return err
+	}
+	defer stop()
 	return expt.Report(os.Stdout, expt.ReportOptions{
 		Markdown: *markdown,
 		Heavy:    *heavy,
 		Progress: os.Stderr,
+		Workers:  rf.workers,
 	})
 }
 

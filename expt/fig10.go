@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"dctopo/topo"
 	"dctopo/tub"
 )
 
@@ -17,6 +18,9 @@ type Fig10Params struct {
 	SizeList  []int // server counts N (switch count = N/H)
 	Fractions []float64
 	Seed      uint64
+	// Workers sizes the sweep's worker pool (0 = GOMAXPROCS). Results
+	// are identical for any worker count.
+	Workers int
 }
 
 // DefaultFig10 matches the paper's Figure 10(a) setting (Jellyfish,
@@ -49,47 +53,92 @@ type Fig10Result struct {
 	Deviation map[int]float64
 }
 
-// RunFig10 evaluates TUB under random link failures.
+// fig10Base is the per-size memoized state of the failure sweep: the
+// intact topology and its bound, shared by every fraction job of that
+// size so the untouched base is built and bounded exactly once.
+type fig10Base struct {
+	top *topo.Topology
+	ub  *tub.Result
+}
+
+// RunFig10 evaluates TUB under random link failures. The (size,
+// fraction) points run concurrently on the Runner pool; the intact base
+// topology and its bound are memoized per size, so the fraction jobs
+// only pay for their own degraded instance. Rows land in sweep order.
 func RunFig10(p Fig10Params) (*Fig10Result, error) {
-	res := &Fig10Result{Params: p, Deviation: map[int]float64{}}
-	for _, n := range p.SizeList {
-		t, err := Build(p.Family, n/p.Servers, p.Radix, p.Servers, p.Seed)
-		if err != nil {
-			return nil, err
+	type job struct {
+		size, fraction int // indices into SizeList / Fractions
+	}
+	var jobs []job
+	for si := range p.SizeList {
+		for fi := range p.Fractions {
+			jobs = append(jobs, job{si, fi})
 		}
-		base, err := tub.Bound(t, tub.Options{})
-		if err != nil {
-			return nil, err
-		}
-		var sq float64
-		for _, f := range p.Fractions {
-			var failed = t
-			var ferr error
-			for attempt := uint64(0); attempt < 10; attempt++ {
-				failed, ferr = t.WithLinkFailures(f, p.Seed+attempt)
-				if ferr == nil {
-					break
-				}
-			}
-			if ferr != nil {
-				return nil, fmt.Errorf("expt: fig10 f=%v: %w", f, ferr)
-			}
-			ub, err := tub.Bound(failed, tub.Options{})
+	}
+	var memo Memo
+	base := func(si int) (*fig10Base, error) {
+		n := p.SizeList[si]
+		v, err := memo.Do(fmt.Sprintf("base-%d", n), func() (interface{}, error) {
+			t, err := Build(p.Family, n/p.Servers, p.Radix, p.Servers, p.Seed)
 			if err != nil {
 				return nil, err
 			}
-			nominal := (1 - f) * base.Bound
-			res.Rows = append(res.Rows, Fig10Row{
-				Servers: t.NumServers(), Fraction: f,
-				Actual: ub.Bound, Nominal: nominal,
-			})
-			rel := (nominal - ub.Bound) / nominal
+			ub, err := tub.Bound(t, tub.Options{})
+			if err != nil {
+				return nil, err
+			}
+			return &fig10Base{top: t, ub: ub}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return v.(*fig10Base), nil
+	}
+	rows := make([]Fig10Row, len(jobs))
+	err := NewRunner(p.Workers).ForEach(len(jobs), func(i int) error {
+		b, err := base(jobs[i].size)
+		if err != nil {
+			return err
+		}
+		f := p.Fractions[jobs[i].fraction]
+		var failed *topo.Topology
+		var ferr error
+		for attempt := uint64(0); attempt < 10; attempt++ {
+			failed, ferr = b.top.WithLinkFailures(f, p.Seed+attempt)
+			if ferr == nil {
+				break
+			}
+		}
+		if ferr != nil {
+			return fmt.Errorf("expt: fig10 f=%v: %w", f, ferr)
+		}
+		ub, err := tub.Bound(failed, tub.Options{})
+		if err != nil {
+			return err
+		}
+		rows[i] = Fig10Row{
+			Servers: b.top.NumServers(), Fraction: f,
+			Actual: ub.Bound, Nominal: (1 - f) * b.ub.Bound,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig10Result{Params: p, Rows: rows, Deviation: map[int]float64{}}
+	for si := range p.SizeList {
+		var sq float64
+		var servers int
+		for fi := range p.Fractions {
+			row := rows[si*len(p.Fractions)+fi]
+			servers = row.Servers
+			rel := (row.Nominal - row.Actual) / row.Nominal
 			if rel < 0 {
 				rel = 0
 			}
 			sq += rel * rel
 		}
-		res.Deviation[t.NumServers()] = math.Sqrt(sq / float64(len(p.Fractions)))
+		res.Deviation[servers] = math.Sqrt(sq / float64(len(p.Fractions)))
 	}
 	return res, nil
 }

@@ -17,6 +17,9 @@ type Fig3Params struct {
 	Switches []int // switch counts to sweep
 	K        int   // paths per pair for KSP-MCF
 	Seed     uint64
+	// Workers sizes the sweep's worker pool (0 = GOMAXPROCS). Results
+	// are identical for any worker count.
+	Workers int
 }
 
 // DefaultFig3 returns a laptop-scale parameterization (the paper uses
@@ -49,39 +52,52 @@ type Fig3Result struct {
 	Rows   []Fig3Row
 }
 
-// RunFig3 reproduces Figure 3 for one family.
+// RunFig3 reproduces Figure 3 for one family. The (H, switches) points
+// run concurrently on the Runner pool; rows land in sweep order.
 func RunFig3(p Fig3Params) (*Fig3Result, error) {
-	res := &Fig3Result{Params: p}
+	type job struct{ h, n int }
+	var jobs []job
 	for _, h := range p.Servers {
 		for _, n := range p.Switches {
-			t, err := Build(p.Family, n, p.Radix, h, p.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("expt: fig3 %s n=%d h=%d: %w", p.Family, n, h, err)
-			}
-			ub, err := tub.Bound(t, tub.Options{})
-			if err != nil {
-				return nil, err
-			}
-			tm, err := ub.Matrix(t)
-			if err != nil {
-				return nil, err
-			}
-			paths := mcf.KShortest(t, tm, p.K)
-			theta, err := mcf.Throughput(t, tm, paths, mcf.Options{Method: mcf.Approx, Eps: 0.02})
-			if err != nil {
-				return nil, err
-			}
-			gap := ub.Bound - theta
-			if gap < 0 {
-				gap = 0
-			}
-			res.Rows = append(res.Rows, Fig3Row{
-				H: h, Switches: t.NumSwitches(), Servers: t.NumServers(),
-				TUB: ub.Bound, Theta: theta, Gap: gap,
-			})
+			jobs = append(jobs, job{h, n})
 		}
 	}
-	return res, nil
+	run := NewRunner(p.Workers)
+	inner := run.InnerWorkers(len(jobs))
+	rows := make([]Fig3Row, len(jobs))
+	err := run.ForEach(len(jobs), func(i int) error {
+		h, n := jobs[i].h, jobs[i].n
+		t, err := Build(p.Family, n, p.Radix, h, p.Seed)
+		if err != nil {
+			return fmt.Errorf("expt: fig3 %s n=%d h=%d: %w", p.Family, n, h, err)
+		}
+		ub, err := tub.Bound(t, tub.Options{})
+		if err != nil {
+			return err
+		}
+		tm, err := ub.Matrix(t)
+		if err != nil {
+			return err
+		}
+		paths := mcf.KShortestWorkers(t, tm, p.K, inner)
+		theta, err := mcf.Throughput(t, tm, paths, mcf.Options{Method: mcf.Approx, Eps: 0.02, Workers: inner})
+		if err != nil {
+			return err
+		}
+		gap := ub.Bound - theta
+		if gap < 0 {
+			gap = 0
+		}
+		rows[i] = Fig3Row{
+			H: h, Switches: t.NumSwitches(), Servers: t.NumServers(),
+			TUB: ub.Bound, Theta: theta, Gap: gap,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig3Result{Params: p, Rows: rows}, nil
 }
 
 // Table renders the result.

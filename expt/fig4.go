@@ -17,6 +17,9 @@ type Fig4Params struct {
 	Switches []int
 	K        int // paths per pair for the flow split in (a)
 	Seed     uint64
+	// Workers sizes the sweep's worker pool (0 = GOMAXPROCS). Results
+	// are identical for any worker count.
+	Workers int
 }
 
 // DefaultFig4 returns the laptop-scale parameterization.
@@ -55,26 +58,30 @@ type Fig4Result struct {
 	Rows   []Fig4Row
 }
 
-// RunFig4 reproduces Figure 4 on Jellyfish.
+// RunFig4 reproduces Figure 4 on Jellyfish. The size points run
+// concurrently on the Runner pool; rows land in sweep order.
 func RunFig4(p Fig4Params) (*Fig4Result, error) {
-	res := &Fig4Result{Params: p}
-	for _, n := range p.Switches {
+	run := NewRunner(p.Workers)
+	inner := run.InnerWorkers(len(p.Switches))
+	rows := make([]Fig4Row, len(p.Switches))
+	err := run.ForEach(len(p.Switches), func(i int) error {
+		n := p.Switches[i]
 		t, err := Build(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ub, err := tub.Bound(t, tub.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tm, err := ub.Matrix(t)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		paths := mcf.KShortest(t, tm, p.K)
-		det, err := mcf.ThroughputDetail(t, tm, paths, mcf.Options{Method: mcf.Approx, Eps: 0.02})
+		paths := mcf.KShortestWorkers(t, tm, p.K, inner)
+		det, err := mcf.ThroughputDetail(t, tm, paths, mcf.Options{Method: mcf.Approx, Eps: 0.02, Workers: inner})
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		var onShortest, total float64
@@ -126,9 +133,13 @@ func RunFig4(p Fig4Params) (*Fig4Result, error) {
 			row.MeanSPL1 = cnt[1] / float64(pairs)
 			row.MeanSPL2 = cnt[2] / float64(pairs)
 		}
-		res.Rows = append(res.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig4Result{Params: p, Rows: rows}, nil
 }
 
 // Table renders the result.

@@ -22,6 +22,10 @@ type Fig5Params struct {
 	// false only absolute estimates and runtimes are reported (Fig 5c/5d,
 	// the large-scale regime where MCF does not run).
 	WithReference bool
+	// Workers sizes the sweep's worker pool (0 = GOMAXPROCS). Estimates
+	// are identical for any worker count; the per-estimator runtimes
+	// naturally vary with core contention.
+	Workers int
 }
 
 // DefaultFig5 returns the laptop-scale parameterization with reference.
@@ -63,20 +67,26 @@ type Fig5Result struct {
 	Rows   []Fig5Row
 }
 
-// RunFig5 reproduces Figure 5.
+// RunFig5 reproduces Figure 5. The size points run concurrently on the
+// Runner pool; rows land in sweep order. Estimates are deterministic;
+// the timing columns measure each estimator inside its job and so
+// reflect contention when the pool is wider than one.
 func RunFig5(p Fig5Params) (*Fig5Result, error) {
-	res := &Fig5Result{Params: p}
-	for _, n := range p.Switches {
+	run := NewRunner(p.Workers)
+	inner := run.InnerWorkers(len(p.Switches))
+	rows := make([]Fig5Row, len(p.Switches))
+	err := run.ForEach(len(p.Switches), func(i int) error {
+		n := p.Switches[i]
 		t, err := Build(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Fig5Row{Switches: t.NumSwitches(), Servers: t.NumServers()}
 
 		start := time.Now()
 		ub, err := tub.Bound(t, tub.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.TUB, row.TUBTime = ub.Bound, time.Since(start)
 
@@ -87,14 +97,14 @@ func RunFig5(p Fig5Params) (*Fig5Result, error) {
 		start = time.Now()
 		sc, err := estimators.SparsestCut(t)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.SC, row.SCTime = sc, time.Since(start)
 
 		start = time.Now()
 		sg, err := estimators.Singla(t)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.Singla, row.SinglaTime = sg, time.Since(start)
 
@@ -102,35 +112,39 @@ func RunFig5(p Fig5Params) (*Fig5Result, error) {
 		// permutation TM (the near-worst-case TM of [27]).
 		tm, err := ub.Matrix(t)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		paths := mcf.KShortest(t, tm, p.K)
+		paths := mcf.KShortestWorkers(t, tm, p.K, inner)
 
 		start = time.Now()
 		hm, err := estimators.Hoefler(t, tm, paths)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.HM, row.HMTime = hm.MinRatio, time.Since(start)
 
 		start = time.Now()
 		jm, err := estimators.Jain(t, tm, paths)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.JM, row.JMTime = jm.MinRatio, time.Since(start)
 
 		if p.WithReference {
 			start = time.Now()
-			theta, err := mcf.Throughput(t, tm, paths, mcf.Options{})
+			theta, err := mcf.Throughput(t, tm, paths, mcf.Options{Workers: inner})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row.Theta, row.MCFTime = theta, time.Since(start)
 		}
-		res.Rows = append(res.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig5Result{Params: p, Rows: rows}, nil
 }
 
 // Table renders accuracy (gaps when a reference exists, else absolute).

@@ -16,6 +16,10 @@ type ReportOptions struct {
 	Heavy bool
 	// Progress, when non-nil, receives one line per completed experiment.
 	Progress io.Writer
+	// Workers sizes the worker pools of the parallel sweeps (fig3, fig4,
+	// fig5, fig10, routing); 0 = GOMAXPROCS. Tables are identical for
+	// any worker count (fig5's runtime columns aside).
+	Workers int
 }
 
 // Report runs every experiment with its default (laptop-scale) parameters
@@ -71,7 +75,9 @@ func Report(w io.Writer, opt ReportOptions) error {
 		}},
 		{"fig3", func() error {
 			for _, f := range []Family{FamilyJellyfish, FamilyXpander, FamilyFatClique} {
-				r, err := RunFig3(DefaultFig3(f))
+				p := DefaultFig3(f)
+				p.Workers = opt.Workers
+				r, err := RunFig3(p)
 				if err != nil {
 					return err
 				}
@@ -80,7 +86,9 @@ func Report(w io.Writer, opt ReportOptions) error {
 			return nil
 		}},
 		{"fig4", func() error {
-			r, err := RunFig4(DefaultFig4())
+			p := DefaultFig4()
+			p.Workers = opt.Workers
+			r, err := RunFig4(p)
 			if err != nil {
 				return err
 			}
@@ -88,13 +96,17 @@ func Report(w io.Writer, opt ReportOptions) error {
 			return nil
 		}},
 		{"fig5", func() error {
-			r, err := RunFig5(DefaultFig5())
+			p := DefaultFig5()
+			p.Workers = opt.Workers
+			r, err := RunFig5(p)
 			if err != nil {
 				return err
 			}
 			emit(r.Table())
 			emit(r.TimeTable())
-			large, err := RunFig5(LargeFig5())
+			lp := LargeFig5()
+			lp.Workers = opt.Workers
+			large, err := RunFig5(lp)
 			if err != nil {
 				return err
 			}
@@ -161,7 +173,9 @@ func Report(w io.Writer, opt ReportOptions) error {
 			return nil
 		}},
 		{"routing", func() error {
-			r, err := RunRouting(DefaultRouting())
+			p := DefaultRouting()
+			p.Workers = opt.Workers
+			r, err := RunRouting(p)
 			if err != nil {
 				return err
 			}
@@ -190,7 +204,9 @@ func Report(w io.Writer, opt ReportOptions) error {
 				return nil
 			}},
 			step{"fig10 (N=32K)", func() error {
-				r, err := RunFig10(DefaultFig10())
+				p := DefaultFig10()
+				p.Workers = opt.Workers
+				r, err := RunFig10(p)
 				if err != nil {
 					return err
 				}

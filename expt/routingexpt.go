@@ -19,6 +19,9 @@ type RoutingParams struct {
 	Switches []int
 	K        int // paths for the KSP-MCF reference
 	Seed     uint64
+	// Workers sizes the sweep's worker pool (0 = GOMAXPROCS). Results
+	// are identical for any worker count.
+	Workers int
 }
 
 // DefaultRouting compares on Jellyfish at MCF-able sizes.
@@ -49,40 +52,47 @@ type RoutingResult struct {
 }
 
 // RunRouting measures achieved throughput per scheme on the maximal
-// permutation TM.
+// permutation TM. The size points run concurrently on the Runner pool;
+// rows land in sweep order.
 func RunRouting(p RoutingParams) (*RoutingResult, error) {
-	res := &RoutingResult{Params: p}
-	for _, n := range p.Switches {
-		t, err := Build(p.Family, n, p.Radix, p.Servers, p.Seed)
+	run := NewRunner(p.Workers)
+	inner := run.InnerWorkers(len(p.Switches))
+	rows := make([]RoutingRow, len(p.Switches))
+	err := run.ForEach(len(p.Switches), func(i int) error {
+		t, err := Build(p.Family, p.Switches[i], p.Radix, p.Servers, p.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ub, err := tub.Bound(t, tub.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tm, err := ub.Matrix(t)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := RoutingRow{Servers: t.NumServers(), TUB: ub.Bound}
-		paths := mcf.KShortest(t, tm, p.K)
-		if row.MCF, err = mcf.Throughput(t, tm, paths, mcf.Options{Method: mcf.Approx, Eps: 0.02}); err != nil {
-			return nil, err
+		paths := mcf.KShortestWorkers(t, tm, p.K, inner)
+		if row.MCF, err = mcf.Throughput(t, tm, paths, mcf.Options{Method: mcf.Approx, Eps: 0.02, Workers: inner}); err != nil {
+			return err
 		}
 		e, err := routing.ECMP(t, tm)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.ECMP = e.Theta
 		v, err := routing.VLB(t, tm)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.VLB = v.Theta
-		res.Rows = append(res.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &RoutingResult{Params: p, Rows: rows}, nil
 }
 
 // Table renders the comparison.

@@ -1,0 +1,127 @@
+package expt
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runner fans the independent jobs of an experiment sweep (one per
+// topology × size × seed point) out to a fixed-size worker pool. Jobs
+// are identified by index and write into pre-allocated result slots, so
+// the output order — and therefore every rendered table — is identical
+// for any worker count. Each job derives its randomness from the
+// parameter struct's explicit seed, never from scheduling.
+type Runner struct {
+	workers int
+}
+
+// NewRunner returns a Runner with the given pool size (<= 0 means
+// GOMAXPROCS).
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers}
+}
+
+// Workers returns the pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// InnerWorkers picks the worker count for nested parallel stages (KSP,
+// Garg–Könemann) inside one ForEach job: when the sweep itself has
+// enough jobs to saturate the pool the inner stages run sequentially,
+// otherwise the leftover workers are split among the jobs. Purely a
+// scheduling hint — results never depend on it.
+func (r *Runner) InnerWorkers(jobs int) int {
+	if jobs <= 0 || jobs >= r.workers {
+		return 1
+	}
+	return (r.workers + jobs - 1) / jobs
+}
+
+// ForEach runs fn(0) … fn(n-1) on the pool and returns the lowest-index
+// error recorded, or nil. After the first failure, workers stop picking
+// up new jobs (jobs already started run to completion), so which
+// higher-index jobs ran is schedule-dependent — but the success path,
+// and every result slot a caller reads on success, is deterministic.
+func (r *Runner) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := r.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for ; w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Memo caches expensive per-topology artifacts (built topologies, TUB
+// results and their host distances, KSP path sets) across the jobs of
+// one experiment run, so sweeps that revisit a topology — e.g. the
+// failure fractions of Figure 10, which all degrade the same base
+// instance — compute each artifact exactly once no matter how many
+// parallel jobs ask for it. Safe for concurrent use; the zero value is
+// ready.
+type Memo struct {
+	mu    sync.Mutex
+	cells map[string]*memoCell
+}
+
+type memoCell struct {
+	once sync.Once
+	val  interface{}
+	err  error
+}
+
+// Do returns the cached value for key, computing it with fn on the
+// first call. Concurrent callers of the same key block until the single
+// computation finishes; errors are cached like values.
+func (m *Memo) Do(key string, fn func() (interface{}, error)) (interface{}, error) {
+	m.mu.Lock()
+	if m.cells == nil {
+		m.cells = make(map[string]*memoCell)
+	}
+	c := m.cells[key]
+	if c == nil {
+		c = new(memoCell)
+		m.cells[key] = c
+	}
+	m.mu.Unlock()
+	c.once.Do(func() { c.val, c.err = fn() })
+	return c.val, c.err
+}

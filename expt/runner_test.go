@@ -1,0 +1,172 @@
+package expt
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func runnerWorkerCounts() []int {
+	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	var out []int
+	for _, w := range counts {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func TestRunnerForEachCoversAllJobs(t *testing.T) {
+	for _, w := range runnerWorkerCounts() {
+		var hits [50]atomic.Int32
+		if err := NewRunner(w).ForEach(len(hits), func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", w, i, got)
+			}
+		}
+	}
+}
+
+func TestRunnerForEachPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, w := range runnerWorkerCounts() {
+		err := NewRunner(w).ForEach(20, func(i int) error {
+			if i == 7 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: got %v, want boom", w, err)
+		}
+	}
+}
+
+func TestRunnerInnerWorkers(t *testing.T) {
+	r := NewRunner(8)
+	for _, tc := range []struct{ jobs, want int }{
+		{0, 1}, {8, 1}, {20, 1}, {1, 8}, {2, 4}, {3, 3},
+	} {
+		if got := r.InnerWorkers(tc.jobs); got != tc.want {
+			t.Errorf("InnerWorkers(%d) = %d, want %d", tc.jobs, got, tc.want)
+		}
+	}
+}
+
+func TestMemoComputesOnce(t *testing.T) {
+	var m Memo
+	var calls atomic.Int32
+	if err := NewRunner(4).ForEach(32, func(i int) error {
+		v, err := m.Do("key", func() (interface{}, error) {
+			calls.Add(1)
+			return 42, nil
+		})
+		if err != nil {
+			return err
+		}
+		if v.(int) != 42 {
+			return fmt.Errorf("got %v", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("memo fn ran %d times, want 1", got)
+	}
+	// Errors are cached too.
+	boom := errors.New("boom")
+	if _, err := m.Do("bad", func() (interface{}, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatal("error not returned")
+	}
+	if _, err := m.Do("bad", func() (interface{}, error) { t.Error("recomputed"); return nil, nil }); !errors.Is(err, boom) {
+		t.Fatal("error not cached")
+	}
+}
+
+// TestFig3DeterministicAcrossWorkers: the rendered Figure 3 table — the
+// ground-truth KSP-MCF pipeline end to end — must be byte-identical at
+// Workers ∈ {1, 2, GOMAXPROCS}.
+func TestFig3DeterministicAcrossWorkers(t *testing.T) {
+	p := Fig3Params{
+		Family: FamilyJellyfish, Radix: 8, Servers: []int{3, 4},
+		Switches: []int{12, 20}, K: 4, Seed: 1,
+	}
+	p.Workers = 1
+	ref, err := RunFig3(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Table().String()
+	for _, w := range runnerWorkerCounts() {
+		p.Workers = w
+		r, err := RunFig3(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Table().String(); got != want {
+			t.Fatalf("workers=%d table differs from workers=1:\n%s\nvs\n%s", w, got, want)
+		}
+	}
+}
+
+// TestFig10DeterministicAcrossWorkers: the failure sweep (rows and RMS
+// deviations) must be identical for any worker count.
+func TestFig10DeterministicAcrossWorkers(t *testing.T) {
+	p := Fig10Params{
+		Family: FamilyJellyfish, Radix: 12, Servers: 4,
+		SizeList: []int{160, 240}, Fractions: []float64{0.1, 0.2}, Seed: 1,
+	}
+	p.Workers = 1
+	ref, err := RunFig10(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Table().String()
+	for _, w := range runnerWorkerCounts() {
+		p.Workers = w
+		r, err := RunFig10(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Table().String(); got != want {
+			t.Fatalf("workers=%d table differs from workers=1:\n%s\nvs\n%s", w, got, want)
+		}
+	}
+}
+
+// TestRoutingDeterministicAcrossWorkers covers the routing driver's
+// fan-out conversion.
+func TestRoutingDeterministicAcrossWorkers(t *testing.T) {
+	p := RoutingParams{
+		Family: FamilyJellyfish, Radix: 8, Servers: 3,
+		Switches: []int{12, 20}, K: 4, Seed: 1,
+	}
+	p.Workers = 1
+	ref, err := RunRouting(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Table().String()
+	for _, w := range runnerWorkerCounts() {
+		p.Workers = w
+		r, err := RunRouting(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Table().String(); got != want {
+			t.Fatalf("workers=%d table differs:\n%s\nvs\n%s", w, got, want)
+		}
+	}
+}

@@ -4,11 +4,37 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"dctopo/internal/lp"
 	"dctopo/topo"
 	"dctopo/traffic"
 )
+
+// parallelChunks partitions [0, n) into one contiguous chunk per worker
+// and runs fn on each chunk concurrently. fn must only write state that
+// is disjoint across indices; the chunk boundaries never influence the
+// values computed, only the schedule.
+func parallelChunks(workers, n int, fn func(lo, hi int)) {
+	if workers <= 1 || n <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
 
 // Method selects the throughput backend.
 type Method int
@@ -23,11 +49,17 @@ const (
 	Approx
 )
 
-// Options configures Throughput. The zero value means Auto with ε = 0.02.
+// Options configures Throughput. The zero value means Auto with ε = 0.02
+// on a GOMAXPROCS-wide pool.
 type Options struct {
 	Method Method
 	// Eps is the Garg–Könemann approximation parameter (default 0.02).
 	Eps float64
+	// Workers bounds the goroutines used by the Garg–Könemann backend's
+	// per-round cheapest-path scan (0 = GOMAXPROCS). The solution is
+	// bit-identical for any worker count; the exact simplex backend is
+	// single-threaded and ignores this field.
+	Workers int
 }
 
 // exact solver size limits for Auto: beyond these the dense tableau gets
@@ -77,13 +109,13 @@ func ThroughputDetail(t *topo.Topology, m *traffic.Matrix, p *Paths, opt Options
 	case Exact:
 		theta, flat, err = inst.solveExact()
 	case Approx:
-		theta, flat = inst.solveGK(opt.eps())
+		theta, flat = inst.solveGK(opt.eps(), opt.Workers)
 	default:
 		rows := len(m.Demands) + inst.numEdges
 		if p.NumPaths() <= autoMaxPathVars && rows <= autoMaxRows {
 			theta, flat, err = inst.solveExact()
 		} else {
-			theta, flat = inst.solveGK(opt.eps())
+			theta, flat = inst.solveGK(opt.eps(), opt.Workers)
 		}
 	}
 	if err != nil {
@@ -181,11 +213,24 @@ func (inst *instance) solveExact() (float64, []float64, error) {
 	return sol.Obj, sol.X[1:], nil
 }
 
-// solveGK runs Fleischer's variant of the Garg–Könemann maximum concurrent
-// flow algorithm over the fixed path sets, then rescales the accumulated
-// flow onto the feasible region. The result is a feasible throughput and,
-// for the path-restricted problem, within ≈(1−3ε) of optimal.
-func (inst *instance) solveGK(eps float64) (float64, []float64) {
+// gkSeqScanMax is the active-demand count below which the per-round
+// cheapest-path scan runs inline: goroutine fan-out costs more than the
+// scan itself on small rounds. The algorithm is identical either way.
+const gkSeqScanMax = 32
+
+// solveGK runs a round-based variant of the Garg–Könemann / Fleischer
+// maximum concurrent flow algorithm over the fixed path sets, then
+// rescales the accumulated flow onto the feasible region. Each phase
+// routes every demand's full amount; a phase proceeds in rounds, where a
+// round (1) scans — in parallel, against the frozen length function — the
+// cheapest path of every still-active demand, then (2) applies one
+// augmentation per demand sequentially in demand order, updating the
+// length function as it goes. Path selection is a pure function of the
+// round-start lengths and updates are applied in a fixed order, so the
+// solution is bit-identical for any worker count. The result is a
+// feasible throughput and, for the path-restricted problem, within ≈(1−3ε)
+// of optimal.
+func (inst *instance) solveGK(eps float64, workers int) (float64, []float64) {
 	mEdges := float64(inst.numEdges)
 	delta := (1 + eps) * math.Pow((1+eps)*mEdges, -1/eps)
 	if delta <= 0 || math.IsNaN(delta) {
@@ -199,45 +244,89 @@ func (inst *instance) solveGK(eps float64) (float64, []float64) {
 	}
 	flow := make([]float64, len(inst.edgeList))
 
-	pathLen := func(pid int32) float64 {
-		s := 0.0
-		for _, e := range inst.edgeList[pid] {
-			s += length[e]
+	// Static bottleneck capacity per path.
+	bneck := make([]float64, len(inst.edgeList))
+	for pid, edges := range inst.edgeList {
+		cMin := math.Inf(1)
+		for _, e := range edges {
+			if inst.capOf[e] < cMin {
+				cMin = inst.capOf[e]
+			}
 		}
-		return s
+		bneck[pid] = cMin
 	}
+
+	n := len(inst.demands)
+	workers = poolSize(workers, n)
+	rem := make([]float64, n)
+	choice := make([]int32, n)
+	active := make([]int32, 0, n)
+
+	// scan picks the cheapest path of each active demand in [lo, hi)
+	// under the current lengths. Read-only on shared state; ties keep the
+	// lowest path id, matching a sequential first-wins scan.
+	scan := func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			j := active[x]
+			pids := inst.pathsOf[j]
+			best := pids[0]
+			bestLen := 0.0
+			for _, e := range inst.edgeList[best] {
+				bestLen += length[e]
+			}
+			for _, pid := range pids[1:] {
+				s := 0.0
+				for _, e := range inst.edgeList[pid] {
+					s += length[e]
+				}
+				if s < bestLen {
+					bestLen = s
+					best = pid
+				}
+			}
+			choice[j] = best
+		}
+	}
+
 	for d < 1 {
+		// New phase: every demand routes its full amount again.
+		active = active[:0]
 		for j := range inst.demands {
-			rem := inst.demands[j].Amount
-			for rem > 1e-15 && d < 1 {
-				// Cheapest path of this commodity under current lengths.
-				best := inst.pathsOf[j][0]
-				bestLen := pathLen(best)
-				for _, pid := range inst.pathsOf[j][1:] {
-					if l := pathLen(pid); l < bestLen {
-						bestLen = l
-						best = pid
-					}
+			if inst.demands[j].Amount > 1e-15 {
+				rem[j] = inst.demands[j].Amount
+				active = append(active, int32(j))
+			}
+		}
+		for len(active) > 0 && d < 1 {
+			if len(active) <= gkSeqScanMax || workers <= 1 {
+				scan(0, len(active))
+			} else {
+				parallelChunks(workers, len(active), scan)
+			}
+			// Sequential apply, in demand order (in-place filter of the
+			// active list; writes trail reads).
+			keep := active[:0]
+			for _, j := range active {
+				if d >= 1 {
+					break
 				}
-				// Bottleneck capacity along the path.
-				cMin := math.Inf(1)
-				for _, e := range inst.edgeList[best] {
-					if inst.capOf[e] < cMin {
-						cMin = inst.capOf[e]
-					}
+				pid := choice[j]
+				g := rem[j]
+				if bneck[pid] < g {
+					g = bneck[pid]
 				}
-				g := rem
-				if cMin < g {
-					g = cMin
-				}
-				flow[best] += g
-				rem -= g
-				for _, e := range inst.edgeList[best] {
+				flow[pid] += g
+				rem[j] -= g
+				for _, e := range inst.edgeList[pid] {
 					grow := eps * g / inst.capOf[e]
 					d += inst.capOf[e] * length[e] * grow
 					length[e] *= 1 + grow
 				}
+				if rem[j] > 1e-15 {
+					keep = append(keep, j)
+				}
 			}
+			active = keep
 		}
 	}
 

@@ -13,6 +13,9 @@ package mcf
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"dctopo/internal/graph"
 	"dctopo/topo"
@@ -35,11 +38,14 @@ func (p *Paths) NumPaths() int {
 	return n
 }
 
-// MinLen returns the hop length of the shortest path of demand i.
+// MinLen returns the hop length of the shortest path of demand i. A
+// demand with an empty path list yields 0 (valid paths have at least one
+// hop, so 0 is unambiguous); such a demand makes Throughput return an
+// error anyway, so 0 never feeds real slack arithmetic.
 func (p *Paths) MinLen(i int) int {
-	best := -1
-	for _, path := range p.ByDemand[i] {
-		if best < 0 || path.Len() < best {
+	best := 0
+	for j, path := range p.ByDemand[i] {
+		if j == 0 || path.Len() < best {
 			best = path.Len()
 		}
 	}
@@ -47,20 +53,44 @@ func (p *Paths) MinLen(i int) int {
 }
 
 // KShortest computes the k shortest loopless paths for every demand of m
-// on t's switch graph (Yen's algorithm). Reverse demands reuse the
-// forward computation with reversed paths.
+// on t's switch graph (Yen's algorithm). Yen runs once per unique
+// unordered endpoint pair — the reverse direction reuses the forward
+// computation with reversed paths — sharded across GOMAXPROCS
+// goroutines. The output depends only on (t, m, k), never on the worker
+// count or schedule.
 func KShortest(t *topo.Topology, m *traffic.Matrix, k int) *Paths {
+	return KShortestWorkers(t, m, k, 0)
+}
+
+// KShortestWorkers is KShortest with an explicit worker count
+// (workers <= 0 means GOMAXPROCS). The result is identical for any
+// worker count.
+func KShortestWorkers(t *topo.Topology, m *traffic.Matrix, k, workers int) *Paths {
 	g := t.Graph()
-	cache := make(map[[2]int][]graph.Path)
-	out := &Paths{ByDemand: make([][]graph.Path, len(m.Demands))}
-	for i, d := range m.Demands {
-		fw := [2]int{d.Src, d.Dst}
-		if ps, ok := cache[fw]; ok {
-			out.ByDemand[i] = ps
+	// Deduplicate demands down to unique unordered pairs, canonically
+	// ordered (src < dst) so the Yen direction does not depend on demand
+	// order. Self-pairs have no paths and are skipped, matching
+	// KShortestPaths.
+	pairIdx := make(map[[2]int]int32)
+	var pairs [][2]int
+	for _, d := range m.Demands {
+		a, b := d.Src, d.Dst
+		if a == b {
 			continue
 		}
-		ps := g.KShortestPaths(d.Src, d.Dst, k)
-		cache[fw] = ps
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if _, ok := pairIdx[key]; !ok {
+			pairIdx[key] = int32(len(pairs))
+			pairs = append(pairs, key)
+		}
+	}
+	fw := make([][]graph.Path, len(pairs)) // paths pair[0] -> pair[1]
+	rv := make([][]graph.Path, len(pairs)) // the same paths reversed
+	run := func(i int) {
+		ps := g.KShortestPaths(pairs[i][0], pairs[i][1], k)
 		rev := make([]graph.Path, len(ps))
 		for j, p := range ps {
 			rp := make(graph.Path, len(p))
@@ -69,10 +99,57 @@ func KShortest(t *topo.Topology, m *traffic.Matrix, k int) *Paths {
 			}
 			rev[j] = rp
 		}
-		cache[[2]int{d.Dst, d.Src}] = rev
-		out.ByDemand[i] = ps
+		fw[i], rv[i] = ps, rev
+	}
+	if w := poolSize(workers, len(pairs)); w <= 1 {
+		for i := range pairs {
+			run(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for ; w > 0; w-- {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(pairs) {
+						return
+					}
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Fan the unique-pair results back out to the demand order.
+	out := &Paths{ByDemand: make([][]graph.Path, len(m.Demands))}
+	for i, d := range m.Demands {
+		switch {
+		case d.Src == d.Dst:
+		case d.Src < d.Dst:
+			out.ByDemand[i] = fw[pairIdx[[2]int{d.Src, d.Dst}]]
+		default:
+			out.ByDemand[i] = rv[pairIdx[[2]int{d.Dst, d.Src}]]
+		}
 	}
 	return out
+}
+
+// poolSize clamps a requested worker count (<= 0 means GOMAXPROCS) to
+// the number of available jobs.
+func poolSize(workers, jobs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }
 
 // WithinSlack enumerates, for every demand, all simple paths of length at

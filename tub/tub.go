@@ -57,7 +57,18 @@ const (
 	autoAuctionMax = 6000
 )
 
-// Options configures Bound.
+// Options configures Bound. The zero value (AutoMatcher) is the right
+// choice for almost all uses: it selects the matcher by host-switch
+// count n — ExactMatcher (Jonker–Volgenant, O(n³)) for n ≤ 384,
+// AuctionMatcher (ε-scaling auction, exact on the integer weights used
+// here but with much better constants) for n ≤ 6000, and GreedyMatcher
+// (the paper's Algorithm 1; a valid but possibly slightly looser bound)
+// beyond. The crossovers are where the next-cheaper matcher starts
+// winning by wall clock on commodity hardware.
+//
+// Bound validates the Matcher value up front and returns an error for
+// values outside [AutoMatcher, GreedyMatcher], so a mis-initialized or
+// garbage Options never silently falls through to the wrong matcher.
 type Options struct {
 	Matcher Matcher
 }
@@ -84,6 +95,9 @@ type Result struct {
 // Bound computes the throughput upper bound of Theorem 2.2 / Equation 18
 // for a topology.
 func Bound(t *topo.Topology, opt Options) (*Result, error) {
+	if opt.Matcher < AutoMatcher || opt.Matcher > GreedyMatcher {
+		return nil, fmt.Errorf("tub: invalid matcher %d (want AutoMatcher, ExactMatcher, AuctionMatcher or GreedyMatcher)", opt.Matcher)
+	}
 	hosts := t.Hosts()
 	n := len(hosts)
 	if n < 2 {
