@@ -15,6 +15,7 @@ import (
 	"dctopo/expt"
 	"dctopo/internal/match"
 	"dctopo/mcf"
+	"dctopo/obs"
 	"dctopo/topo"
 	"dctopo/traffic"
 	"dctopo/tub"
@@ -371,5 +372,56 @@ func TestServerLevelEqualsSwitchLevelTUB(t *testing.T) {
 	srv := match.Exact(nSw*h, func(x, y int) int64 { return int64(dist[x/h][y/h]) })
 	if sw.Total != srv.Total {
 		t.Fatalf("switch-level total %d != server-level total %d", sw.Total, srv.Total)
+	}
+}
+
+// --- observability overhead (PR 2) ---
+
+// BenchmarkObsNoop measures the disabled instrumentation path: a nil
+// *obs.Obs through span start/end, a point event, and a counter bump.
+// The companion TestNoopZeroAllocs in obs pins this at zero allocations;
+// here the ns/op shows the residual nil-check cost at call sites.
+func BenchmarkObsNoop(b *testing.B) {
+	var o *obs.Obs
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		co, sp := o.Start("bench", obs.Int("i", i))
+		co.Point("tick", obs.Float("v", 1.5))
+		co.Counter("n").Add(1)
+		sp.End(obs.Bool("ok", true))
+	}
+}
+
+// BenchmarkMCFObsOverhead solves the same KSP-MCF instance with
+// instrumentation off, registry-only, and with a capturing sink, so the
+// per-round convergence events' cost is visible next to the solve itself.
+func BenchmarkMCFObsOverhead(b *testing.B) {
+	t := benchTopology(b, 36, 10, 4)
+	ub, err := tub.Bound(t, tub.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm, err := ub.Matrix(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	paths := mcf.KShortestWorkers(t, tm, 8, 1)
+	for _, tc := range []struct {
+		name string
+		o    *obs.Obs
+	}{
+		{"off", nil},
+		{"registry", obs.New()},
+		{"capture", obs.New(&obs.Capture{Max: 1 << 14})},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mcf.Throughput(t, tm, paths, mcf.Options{
+					Method: mcf.Approx, Eps: 0.05, Workers: 1, Obs: tc.o,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

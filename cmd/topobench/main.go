@@ -10,13 +10,24 @@
 //	topobench metrics -family jellyfish -switches 128 -radix 16 -servers 8
 //	topobench mcf     -family jellyfish -switches 64  -radix 10 -servers 4 -k 16
 //	topobench expt    fig3|fig4|fig5|fig7|fig8|fig9|fig10|tab3|tab5|tabA1|figA1|figA2|figA4|figA5|routing|wedge
-//	topobench report  [-markdown] [-heavy] > EXPERIMENTS.out
+//	topobench report  [-markdown] [-heavy] [-convergence] > EXPERIMENTS.out
+//
+// Every subcommand accepts the shared observability flags: -v (log
+// completed spans to stderr), -progress (stage progress with ETA on
+// stderr), -trace FILE (JSONL trace of every span and solver convergence
+// point), -metrics ADDR (serve counters/gauges as expvar JSON over HTTP),
+// and -cpuprofile / -memprofile (pprof output).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -25,6 +36,7 @@ import (
 	"dctopo/estimators"
 	"dctopo/expt"
 	"dctopo/mcf"
+	"dctopo/obs"
 	"dctopo/topo"
 	"dctopo/tub"
 )
@@ -37,19 +49,21 @@ func main() {
 	var err error
 	switch os.Args[1] {
 	case "gen":
-		err = cmdGen(os.Args[2:])
+		err = cmdGen(os.Stdout, os.Args[2:])
 	case "tub":
-		err = cmdTub(os.Args[2:])
+		err = cmdTub(os.Stdout, os.Args[2:])
 	case "metrics":
-		err = cmdMetrics(os.Args[2:])
+		err = cmdMetrics(os.Stdout, os.Args[2:])
 	case "mcf":
-		err = cmdMCF(os.Args[2:])
+		err = cmdMCF(os.Stdout, os.Args[2:])
 	case "expt":
-		err = cmdExpt(os.Args[2:])
+		err = cmdExpt(os.Stdout, os.Args[2:])
 	case "design":
-		err = cmdDesign(os.Args[2:])
+		err = cmdDesign(os.Stdout, os.Args[2:])
 	case "report":
-		err = cmdReport(os.Args[2:])
+		err = cmdReport(os.Stdout, os.Args[2:])
+	case "version", "-version", "--version":
+		printVersion(os.Stdout)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -73,7 +87,51 @@ commands:
   mcf      route the maximal permutation with KSP-MCF and report θ
   expt     run one paper experiment by id (fig3..figA5, tab3, tab5, tabA1, routing, wedge)
   design   size a full-throughput fabric and plan expansions (§5-§6 design aid)
-  report   run the full experiment suite (use -heavy for paper-scale runs)`)
+  report   run the full experiment suite (use -heavy for paper-scale runs)
+  version  print build information
+
+observability (all commands): -v, -progress, -trace FILE, -metrics ADDR,
+-cpuprofile FILE, -memprofile FILE`)
+}
+
+// printVersion reports the module version and, when built from a VCS
+// checkout, the commit it was built from.
+func printVersion(w io.Writer) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		fmt.Fprintln(w, "topobench (no build info)")
+		return
+	}
+	ver := bi.Main.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	var rev, at string
+	dirty := ""
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			at = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	fmt.Fprintf(w, "topobench %s", ver)
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(w, " (%s%s", rev, dirty)
+		if at != "" {
+			fmt.Fprintf(w, ", %s", at)
+		}
+		fmt.Fprint(w, ")")
+	}
+	fmt.Fprintf(w, " %s\n", bi.GoVersion)
 }
 
 // topoFlags registers the shared topology-construction flags.
@@ -94,41 +152,116 @@ func (tf *topoFlags) register(fs *flag.FlagSet) {
 }
 
 // runFlags registers the shared execution flags: the worker-pool size
-// for the parallel stages and an optional pprof CPU profile.
+// for the parallel stages, pprof profiles, and the observability sinks
+// (-v, -progress, -trace, -metrics).
 type runFlags struct {
 	workers    int
 	cpuprofile string
+	memprofile string
+	verbose    bool
+	progress   bool
+	trace      string
+	metrics    string
 }
 
 func (rf *runFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&rf.workers, "workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS); results are identical for any value")
 	fs.StringVar(&rf.cpuprofile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&rf.memprofile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	fs.BoolVar(&rf.verbose, "v", false, "log completed spans (stage timings) to stderr")
+	fs.BoolVar(&rf.progress, "progress", false, "print sweep progress with ETA to stderr")
+	fs.StringVar(&rf.trace, "trace", "", "write a JSONL trace of spans and solver convergence to this file")
+	fs.StringVar(&rf.metrics, "metrics", "", "serve counters/gauges as expvar JSON on this address (e.g. localhost:8080)")
 }
 
-// profile starts CPU profiling when -cpuprofile was given and returns
-// the stop function (a no-op otherwise).
+// profile starts CPU profiling when -cpuprofile was given and returns the
+// stop function, which also snapshots the heap to -memprofile when set.
 func (rf *runFlags) profile() (stop func(), err error) {
-	if rf.cpuprofile == "" {
-		return func() {}, nil
-	}
-	f, err := os.Create(rf.cpuprofile)
-	if err != nil {
-		return nil, err
-	}
-	if err := pprof.StartCPUProfile(f); err != nil {
-		f.Close()
-		return nil, err
+	stopCPU := func() {}
+	if rf.cpuprofile != "" {
+		f, err := os.Create(rf.cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
 	}
 	return func() {
-		pprof.StopCPUProfile()
-		f.Close()
+		stopCPU()
+		if rf.memprofile == "" {
+			return
+		}
+		f, err := os.Create(rf.memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topobench: memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize the final live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "topobench: memprofile:", err)
+		}
 	}, nil
 }
 
-func (tf *topoFlags) build() (*topo.Topology, error) {
+// observe builds the instrumentation handle requested by the -v,
+// -progress, -trace and -metrics flags (plus any extra sinks) and
+// returns it with its teardown. When nothing was requested it returns a
+// nil handle — the disabled instance all instrumented code paths accept
+// at zero cost.
+func (rf *runFlags) observe(extra ...obs.Sink) (*obs.Obs, func(), error) {
+	var sinks []obs.Sink
+	var cleanup []func()
+	done := func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+	}
+	if rf.trace != "" {
+		f, err := os.Create(rf.trace)
+		if err != nil {
+			return nil, nil, err
+		}
+		sinks = append(sinks, obs.NewJSONL(f))
+		cleanup = append(cleanup, func() { f.Close() })
+	}
+	if rf.progress {
+		sinks = append(sinks, obs.NewProgressLogger(os.Stderr))
+	}
+	if rf.verbose {
+		sinks = append(sinks, obs.NewLogger(os.Stderr))
+	}
+	sinks = append(sinks, extra...)
+	if len(sinks) == 0 && rf.metrics == "" {
+		return nil, done, nil
+	}
+	o := obs.New(sinks...)
+	if rf.metrics != "" {
+		o.PublishExpvar("dctopo")
+		ln, err := net.Listen("tcp", rf.metrics)
+		if err != nil {
+			done()
+			return nil, nil, err
+		}
+		// The expvar import (via package obs) registers /debug/vars on
+		// the default mux.
+		go http.Serve(ln, nil)
+		fmt.Fprintf(os.Stderr, "topobench: metrics at http://%s/debug/vars\n", ln.Addr())
+		cleanup = append(cleanup, func() { ln.Close() })
+	}
+	return o, done, nil
+}
+
+func (tf *topoFlags) build(o *obs.Obs) (*topo.Topology, error) {
 	switch tf.family {
 	case "jellyfish", "xpander", "fatclique":
-		return expt.Build(expt.Family(tf.family), tf.switches, tf.radix, tf.servers, tf.seed)
+		return expt.BuildObs(expt.Family(tf.family), tf.switches, tf.radix, tf.servers, tf.seed, o)
 	case "fattree":
 		return topo.FatTree(tf.radix)
 	case "clos":
@@ -137,25 +270,37 @@ func (tf *topoFlags) build() (*topo.Topology, error) {
 	return nil, fmt.Errorf("unknown family %q", tf.family)
 }
 
-func cmdGen(args []string) error {
+func cmdGen(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	var tf topoFlags
+	var rf runFlags
 	tf.register(fs)
+	rf.register(fs)
 	edges := fs.Bool("edges", false, "also print the switch-to-switch links")
 	out := fs.String("o", "", "write the topology to a file (.dot -> Graphviz, else text format)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	t, err := tf.build()
+	o, done, err := rf.observe()
 	if err != nil {
 		return err
 	}
-	fmt.Println(t)
-	fmt.Printf("hosts=%d mean-servers-per-switch=%.2f uni-regular=%v bi-regular=%v\n",
+	defer done()
+	stop, err := rf.profile()
+	if err != nil {
+		return err
+	}
+	defer stop()
+	t, err := tf.build(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, t)
+	fmt.Fprintf(w, "hosts=%d mean-servers-per-switch=%.2f uni-regular=%v bi-regular=%v\n",
 		len(t.Hosts()), t.MeanServersPerSwitch(), t.UniRegular(), t.BiRegular())
 	if *edges {
 		t.Graph().Edges(func(u, v, c int) {
-			fmt.Printf("%d %d %d\n", u, v, c)
+			fmt.Fprintf(w, "%d %d %d\n", u, v, c)
 		})
 	}
 	if *out != "" {
@@ -172,12 +317,12 @@ func cmdGen(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("wrote", *out)
+		fmt.Fprintln(w, "wrote", *out)
 	}
 	return nil
 }
 
-func cmdTub(args []string) error {
+func cmdTub(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("tub", flag.ExitOnError)
 	var tf topoFlags
 	var rf runFlags
@@ -187,7 +332,12 @@ func cmdTub(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	t, err := tf.build()
+	o, done, err := rf.observe()
+	if err != nil {
+		return err
+	}
+	defer done()
+	t, err := tf.build(o)
 	if err != nil {
 		return err
 	}
@@ -210,21 +360,21 @@ func cmdTub(args []string) error {
 		return fmt.Errorf("unknown matcher %q", *matcher)
 	}
 	start := time.Now()
-	res, err := tub.Bound(t, tub.Options{Matcher: m})
+	res, err := tub.Bound(t, tub.Options{Matcher: m, Obs: o})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s\nTUB = %.6f   (2E=%d, sum min(H)·L = %d, %v)\n",
+	fmt.Fprintf(w, "%s\nTUB = %.6f   (2E=%d, sum min(H)·L = %d, %v)\n",
 		t, res.Bound, res.TwoE, res.WeightedLen, time.Since(start).Round(time.Millisecond))
 	if res.Bound >= 1 {
-		fmt.Println("verdict: may have full throughput (bound >= 1)")
+		fmt.Fprintln(w, "verdict: may have full throughput (bound >= 1)")
 	} else {
-		fmt.Println("verdict: CANNOT have full throughput (bound < 1)")
+		fmt.Fprintln(w, "verdict: CANNOT have full throughput (bound < 1)")
 	}
 	return nil
 }
 
-func cmdMetrics(args []string) error {
+func cmdMetrics(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
 	var tf topoFlags
 	var rf runFlags
@@ -234,7 +384,12 @@ func cmdMetrics(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	t, err := tf.build()
+	o, done, err := rf.observe()
+	if err != nil {
+		return err
+	}
+	defer done()
+	t, err := tf.build(o)
 	if err != nil {
 		return err
 	}
@@ -243,22 +398,22 @@ func cmdMetrics(args []string) error {
 		return err
 	}
 	defer stop()
-	fmt.Println(t)
+	fmt.Fprintln(w, t)
 
 	timed := func(name string, fn func() (string, error)) {
 		start := time.Now()
 		out, err := fn()
 		el := time.Since(start).Round(time.Microsecond)
 		if err != nil {
-			fmt.Printf("%-16s error: %v\n", name, err)
+			fmt.Fprintf(w, "%-16s error: %v\n", name, err)
 			return
 		}
-		fmt.Printf("%-16s %-24s %v\n", name, out, el)
+		fmt.Fprintf(w, "%-16s %-24s %v\n", name, out, el)
 	}
 	var ub *tub.Result
 	timed("TUB", func() (string, error) {
 		var err error
-		ub, err = tub.Bound(t, tub.Options{})
+		ub, err = tub.Bound(t, tub.Options{Obs: o})
 		if err != nil {
 			return "", err
 		}
@@ -283,7 +438,7 @@ func cmdMetrics(args []string) error {
 	if err != nil {
 		return err
 	}
-	paths := mcf.KShortestWorkers(t, tm, *k, rf.workers)
+	paths := mcf.KShortestObs(t, tm, *k, rf.workers, o)
 	timed("hoefler", func() (string, error) {
 		e, err := estimators.Hoefler(t, tm, paths)
 		return fmt.Sprintf("min=%.4f mean=%.4f", e.MinRatio, e.MeanRatio), err
@@ -295,7 +450,7 @@ func cmdMetrics(args []string) error {
 	return nil
 }
 
-func cmdMCF(args []string) error {
+func cmdMCF(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("mcf", flag.ExitOnError)
 	var tf topoFlags
 	var rf runFlags
@@ -307,11 +462,16 @@ func cmdMCF(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	t, err := tf.build()
+	o, done, err := rf.observe()
 	if err != nil {
 		return err
 	}
-	ub, err := tub.Bound(t, tub.Options{})
+	defer done()
+	t, err := tf.build(o)
+	if err != nil {
+		return err
+	}
+	ub, err := tub.Bound(t, tub.Options{Obs: o})
 	if err != nil {
 		return err
 	}
@@ -336,17 +496,17 @@ func cmdMCF(args []string) error {
 	}
 	defer stop()
 	start := time.Now()
-	paths := mcf.KShortestWorkers(t, tm, *k, rf.workers)
-	theta, err := mcf.Throughput(t, tm, paths, mcf.Options{Method: m, Eps: *eps, Workers: rf.workers})
+	paths := mcf.KShortestObs(t, tm, *k, rf.workers, o)
+	theta, err := mcf.Throughput(t, tm, paths, mcf.Options{Method: m, Eps: *eps, Workers: rf.workers, Obs: o})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s\nKSP-MCF (K=%d): theta = %.4f   TUB = %.4f   gap = %.4f   (%v)\n",
+	fmt.Fprintf(w, "%s\nKSP-MCF (K=%d): theta = %.4f   TUB = %.4f   gap = %.4f   (%v)\n",
 		t, *k, theta, ub.Bound, ub.Bound-theta, time.Since(start).Round(time.Millisecond))
 	return nil
 }
 
-func cmdExpt(args []string) error {
+func cmdExpt(w io.Writer, args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("expt needs an experiment id")
 	}
@@ -357,6 +517,11 @@ func cmdExpt(args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	o, done, err := rf.observe()
+	if err != nil {
+		return err
+	}
+	defer done()
 	stop, err := rf.profile()
 	if err != nil {
 		return err
@@ -364,14 +529,14 @@ func cmdExpt(args []string) error {
 	defer stop()
 	print := func(tabs ...*expt.Table) {
 		for _, t := range tabs {
-			fmt.Println(t.String())
+			fmt.Fprintln(w, t.String())
 		}
 	}
 	switch id {
 	case "fig3":
 		for _, f := range []expt.Family{expt.FamilyJellyfish, expt.FamilyXpander, expt.FamilyFatClique} {
 			p := expt.DefaultFig3(f)
-			p.Workers = rf.workers
+			p.Workers, p.Obs = rf.workers, o
 			r, err := expt.RunFig3(p)
 			if err != nil {
 				return err
@@ -380,7 +545,7 @@ func cmdExpt(args []string) error {
 		}
 	case "fig4":
 		p := expt.DefaultFig4()
-		p.Workers = rf.workers
+		p.Workers, p.Obs = rf.workers, o
 		r, err := expt.RunFig4(p)
 		if err != nil {
 			return err
@@ -388,7 +553,7 @@ func cmdExpt(args []string) error {
 		print(r.Table())
 	case "fig5":
 		p := expt.DefaultFig5()
-		p.Workers = rf.workers
+		p.Workers, p.Obs = rf.workers, o
 		r, err := expt.RunFig5(p)
 		if err != nil {
 			return err
@@ -416,7 +581,7 @@ func cmdExpt(args []string) error {
 		print(r.Table())
 	case "fig10":
 		p := expt.DefaultFig10()
-		p.Workers = rf.workers
+		p.Workers, p.Obs = rf.workers, o
 		r, err := expt.RunFig10(p)
 		if err != nil {
 			return err
@@ -472,7 +637,7 @@ func cmdExpt(args []string) error {
 		print(r.Tables()...)
 	case "routing":
 		p := expt.DefaultRouting()
-		p.Workers = rf.workers
+		p.Workers, p.Obs = rf.workers, o
 		r, err := expt.RunRouting(p)
 		if err != nil {
 			return err
@@ -490,30 +655,45 @@ func cmdExpt(args []string) error {
 	return nil
 }
 
-func cmdReport(args []string) error {
+func cmdReport(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
 	var rf runFlags
 	rf.register(fs)
 	markdown := fs.Bool("markdown", false, "emit markdown tables")
 	heavy := fs.Bool("heavy", false, "also run the paper-scale demonstrations (minutes)")
+	convergence := fs.Bool("convergence", false, "append a table of MCF convergence trajectories (rounds, dual, theta_lb per solve)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	opt := expt.ReportOptions{
+		Markdown: *markdown,
+		Heavy:    *heavy,
+		Progress: os.Stderr,
+		Workers:  rf.workers,
+	}
+	var extra []obs.Sink
+	if *convergence {
+		opt.Convergence = &expt.ConvergenceRecorder{}
+		extra = append(extra, opt.Convergence)
+	}
+	o, done, err := rf.observe(extra...)
+	if err != nil {
+		return err
+	}
+	defer done()
+	opt.Obs = o
 	stop, err := rf.profile()
 	if err != nil {
 		return err
 	}
 	defer stop()
-	return expt.Report(os.Stdout, expt.ReportOptions{
-		Markdown: *markdown,
-		Heavy:    *heavy,
-		Progress: os.Stderr,
-		Workers:  rf.workers,
-	})
+	return expt.Report(w, opt)
 }
 
-func cmdDesign(args []string) error {
+func cmdDesign(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("design", flag.ExitOnError)
+	var rf runFlags
+	rf.register(fs)
 	servers := fs.Int("servers", 8192, "required server count N")
 	radix := fs.Int("radix", 32, "switch radix")
 	target := fs.Int("target", 0, "future server count to plan expansion for (0 = none)")
@@ -522,18 +702,28 @@ func cmdDesign(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	_, done, err := rf.observe()
+	if err != nil {
+		return err
+	}
+	defer done()
+	stop, err := rf.profile()
+	if err != nil {
+		return err
+	}
+	defer stop()
 	spec := design.Spec{Servers: *servers, Radix: *radix, Seed: *seed}
 	if *floor != 1 {
 		spec.Objective = design.ThroughputAtLeast
 		spec.Target = *floor
 	}
-	fmt.Printf("cheapest designs for N=%d, R=%d, TUB >= %.2f:\n", *servers, *radix, *floor)
+	fmt.Fprintf(w, "cheapest designs for N=%d, R=%d, TUB >= %.2f:\n", *servers, *radix, *floor)
 	for _, row := range design.Compare(spec) {
 		if row.Err != nil {
-			fmt.Printf("  %-10s %v\n", row.Name, row.Err)
+			fmt.Fprintf(w, "  %-10s %v\n", row.Name, row.Err)
 			continue
 		}
-		fmt.Printf("  %-10s %5d switches  H=%-3d TUB=%.3f\n", row.Name, row.Switches, row.H, row.TUB)
+		fmt.Fprintf(w, "  %-10s %5d switches  H=%-3d TUB=%.3f\n", row.Name, row.Switches, row.H, row.TUB)
 	}
 	if *target > 0 {
 		for _, f := range []expt.Family{expt.FamilyJellyfish, expt.FamilyXpander} {
@@ -541,14 +731,14 @@ func cmdDesign(args []string) error {
 			s.Family = f
 			plan, err := design.PlanExpansion(s, *target)
 			if err != nil {
-				fmt.Printf("expansion (%s): %v\n", f, err)
+				fmt.Fprintf(w, "expansion (%s): %v\n", f, err)
 				continue
 			}
-			fmt.Printf("expansion plan (%s) to N=%d: deploy H=%d (%d -> %d switches; TUB %.3f -> %.3f)\n",
+			fmt.Fprintf(w, "expansion plan (%s) to N=%d: deploy H=%d (%d -> %d switches; TUB %.3f -> %.3f)\n",
 				f, *target, plan.ServersPerSwitch, plan.InitialSwitches, plan.TargetSwitches,
 				plan.TUBAtInitial, plan.TUBAtTarget)
 			if plan.NaiveH > plan.ServersPerSwitch {
-				fmt.Printf("  naive day-one choice H=%d would end at TUB=%.3f after growth — plan ahead (§5.1)\n",
+				fmt.Fprintf(w, "  naive day-one choice H=%d would end at TUB=%.3f after growth — plan ahead (§5.1)\n",
 					plan.NaiveH, plan.NaiveTUBTarget)
 			}
 		}

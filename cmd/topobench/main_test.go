@@ -1,18 +1,23 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
 	"os"
+	"strings"
 	"testing"
 )
 
 func TestCmdGen(t *testing.T) {
 	for _, fam := range []string{"jellyfish", "xpander", "fatclique", "fattree", "clos"} {
 		args := []string{"-family", fam, "-switches", "20", "-radix", "8", "-servers", "3"}
-		if err := cmdGen(args); err != nil {
+		if err := cmdGen(io.Discard, args); err != nil {
 			t.Errorf("gen %s: %v", fam, err)
 		}
 	}
-	if err := cmdGen([]string{"-family", "nope"}); err == nil {
+	if err := cmdGen(io.Discard, []string{"-family", "nope"}); err == nil {
 		t.Error("expected error for unknown family")
 	}
 }
@@ -20,18 +25,18 @@ func TestCmdGen(t *testing.T) {
 func TestCmdTubMatchers(t *testing.T) {
 	for _, m := range []string{"auto", "exact", "auction", "greedy"} {
 		args := []string{"-family", "jellyfish", "-switches", "20", "-radix", "8", "-servers", "3", "-matcher", m}
-		if err := cmdTub(args); err != nil {
+		if err := cmdTub(io.Discard, args); err != nil {
 			t.Errorf("tub %s: %v", m, err)
 		}
 	}
-	if err := cmdTub([]string{"-matcher", "bogus"}); err == nil {
+	if err := cmdTub(io.Discard, []string{"-matcher", "bogus"}); err == nil {
 		t.Error("expected error for unknown matcher")
 	}
 }
 
 func TestCmdMetrics(t *testing.T) {
 	args := []string{"-family", "jellyfish", "-switches", "20", "-radix", "8", "-servers", "3", "-k", "4"}
-	if err := cmdMetrics(args); err != nil {
+	if err := cmdMetrics(io.Discard, args); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -39,11 +44,11 @@ func TestCmdMetrics(t *testing.T) {
 func TestCmdMCF(t *testing.T) {
 	for _, m := range []string{"auto", "exact", "approx"} {
 		args := []string{"-family", "jellyfish", "-switches", "16", "-radix", "8", "-servers", "3", "-k", "4", "-method", m}
-		if err := cmdMCF(args); err != nil {
+		if err := cmdMCF(io.Discard, args); err != nil {
 			t.Errorf("mcf %s: %v", m, err)
 		}
 	}
-	if err := cmdMCF([]string{"-method", "bogus"}); err == nil {
+	if err := cmdMCF(io.Discard, []string{"-method", "bogus"}); err == nil {
 		t.Error("expected error for unknown method")
 	}
 }
@@ -51,14 +56,14 @@ func TestCmdMCF(t *testing.T) {
 func TestCmdExptCheapIDs(t *testing.T) {
 	// Only the sub-second experiments; the heavy ones run in the report.
 	for _, id := range []string{"fig7", "tabA1"} {
-		if err := cmdExpt([]string{id}); err != nil {
+		if err := cmdExpt(io.Discard, []string{id}); err != nil {
 			t.Errorf("expt %s: %v", id, err)
 		}
 	}
-	if err := cmdExpt([]string{"bogus"}); err == nil {
+	if err := cmdExpt(io.Discard, []string{"bogus"}); err == nil {
 		t.Error("expected error for unknown experiment")
 	}
-	if err := cmdExpt(nil); err == nil {
+	if err := cmdExpt(io.Discard, nil); err == nil {
 		t.Error("expected error for missing id")
 	}
 }
@@ -68,11 +73,95 @@ func TestCmdGenWritesFiles(t *testing.T) {
 	for _, name := range []string{"t.dot", "t.topo"} {
 		p := dir + "/" + name
 		args := []string{"-family", "jellyfish", "-switches", "12", "-radix", "8", "-servers", "3", "-o", p}
-		if err := cmdGen(args); err != nil {
+		if err := cmdGen(io.Discard, args); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
 			t.Fatalf("%s not written: %v", name, err)
 		}
+	}
+}
+
+// TestRunFlagsParsing: the shared -trace/-metrics/-progress/-v/-memprofile
+// flags must parse on every subcommand's flag set.
+func TestRunFlagsParsing(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{
+		"-family", "jellyfish", "-switches", "12", "-radix", "8", "-servers", "3",
+		"-v", "-progress", "-trace", dir + "/t.jsonl", "-memprofile", dir + "/m.pprof",
+	}
+	if err := cmdGen(io.Discard, args); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"t.jsonl", "m.pprof"} {
+		if fi, err := os.Stat(dir + "/" + f); err != nil || fi.Size() == 0 {
+			t.Errorf("%s not written: %v", f, err)
+		}
+	}
+	// -metrics on a subcommand: a bad address must surface as an error,
+	// a free port must not.
+	if err := cmdGen(io.Discard, []string{"-switches", "12", "-radix", "8", "-servers", "3", "-metrics", "256.0.0.1:0"}); err == nil {
+		t.Error("expected error for unlistenable -metrics address")
+	}
+	if err := cmdGen(io.Discard, []string{"-switches", "12", "-radix", "8", "-servers", "3", "-metrics", "127.0.0.1:0"}); err != nil {
+		t.Errorf("-metrics on a free port: %v", err)
+	}
+}
+
+// TestCmdMCFTraceJSONL: -trace must produce one valid JSON object per
+// line covering every pipeline stage, including per-round MCF
+// convergence points.
+func TestCmdMCFTraceJSONL(t *testing.T) {
+	trace := t.TempDir() + "/trace.jsonl"
+	args := []string{
+		"-family", "jellyfish", "-switches", "16", "-radix", "8", "-servers", "3",
+		"-k", "4", "-method", "approx", "-trace", trace,
+	}
+	if err := cmdMCF(io.Discard, args); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	starts := map[string]int{}
+	rounds := 0
+	sc := bufio.NewScanner(f)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var rec struct {
+			Type string `json:"type"`
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", lines, err, sc.Text())
+		}
+		if rec.Type == "span_start" {
+			starts[rec.Name]++
+		}
+		if rec.Type == "point" && rec.Name == "mcf.round" {
+			rounds++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"topo.build", "tub.bound", "mcf.ksp", "mcf.solve", "mcf.gk"} {
+		if starts[name] == 0 {
+			t.Errorf("no %q span in trace (spans: %v)", name, starts)
+		}
+	}
+	if rounds == 0 {
+		t.Error("no mcf.round convergence points in trace")
+	}
+}
+
+func TestPrintVersion(t *testing.T) {
+	var buf bytes.Buffer
+	printVersion(&buf)
+	if !strings.HasPrefix(buf.String(), "topobench ") {
+		t.Fatalf("unexpected version output: %q", buf.String())
 	}
 }

@@ -20,6 +20,9 @@
 //     NSDI'14 bound, Hoefler's method, and Jain's method.
 //   - expt: drivers that regenerate every table and figure of the paper's
 //     evaluation.
+//   - obs: zero-dependency instrumentation — hierarchical spans, solver
+//     convergence events, counters/gauges, JSONL traces, progress/ETA —
+//     threaded through the whole pipeline and free when disabled.
 //   - cmd/topobench: the command-line front end.
 //
 // Start with examples/quickstart, or run:

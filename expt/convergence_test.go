@@ -1,0 +1,59 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"dctopo/obs"
+)
+
+// TestFig3InstrumentedMatchesBare: attaching the full sink stack must not
+// change a single byte of the rendered table, and the trace must contain
+// every pipeline stage plus per-round convergence points.
+func TestFig3InstrumentedMatchesBare(t *testing.T) {
+	p := Fig3Params{
+		Family: FamilyJellyfish, Radix: 8, Servers: []int{3},
+		Switches: []int{12, 20}, K: 4, Seed: 1, Workers: 2,
+	}
+	bare, err := RunFig3(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := &ConvergenceRecorder{}
+	cap := &obs.Capture{}
+	p.Obs = obs.New(rec, cap)
+	traced, err := RunFig3(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := traced.Table().String(), bare.Table().String(); got != want {
+		t.Fatalf("instrumented table differs:\n%s\nvs\n%s", got, want)
+	}
+
+	starts := map[string]int{}
+	rounds := 0
+	for _, e := range cap.Events() {
+		if e.Kind == obs.KindSpanStart {
+			starts[e.Name]++
+		}
+		if e.Kind == obs.KindPoint && e.Name == "mcf.round" {
+			rounds++
+		}
+	}
+	for _, name := range []string{"expt.fig3", "fig3.job", "topo.build", "tub.bound", "mcf.ksp", "mcf.solve"} {
+		if starts[name] == 0 {
+			t.Errorf("no %q span in trace (got %v)", name, starts)
+		}
+	}
+	if rounds == 0 {
+		t.Error("no mcf.round convergence points in trace")
+	}
+	if rec.Solves() != starts["mcf.gk"] || rec.Solves() == 0 {
+		t.Errorf("recorder tracked %d solves, trace has %d mcf.gk spans", rec.Solves(), starts["mcf.gk"])
+	}
+	tbl := rec.Table().String()
+	if !strings.Contains(tbl, "theta_lb") || len(rec.Table().Rows) != rec.Solves() {
+		t.Errorf("convergence table malformed:\n%s", tbl)
+	}
+}

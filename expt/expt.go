@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"dctopo/obs"
 	"dctopo/topo"
 )
 
@@ -117,11 +118,23 @@ const (
 // paper, FatClique sizes are not dense) and H may differ by one across
 // switches.
 func Build(f Family, switches, radix, servers int, seed uint64) (*topo.Topology, error) {
+	return BuildObs(f, switches, radix, servers, seed, nil)
+}
+
+// BuildObs is Build with instrumentation: when o is non-nil the
+// construction runs under a "topo.build" span and the random generators
+// count their repair work (swap repairs, lift retries) in o's registry.
+// The topology is identical with or without o.
+func BuildObs(f Family, switches, radix, servers int, seed uint64, o *obs.Obs) (t *topo.Topology, err error) {
+	bo, sp := o.Start("topo.build",
+		obs.String("family", string(f)), obs.Int("switches", switches),
+		obs.Int("radix", radix), obs.Int("servers", servers))
+	defer func() { sp.End(obs.Bool("ok", err == nil)) }()
 	switch f {
 	case FamilyJellyfish:
-		return topo.Jellyfish(topo.JellyfishConfig{Switches: switches, Radix: radix, Servers: servers, Seed: seed})
+		return topo.Jellyfish(topo.JellyfishConfig{Switches: switches, Radix: radix, Servers: servers, Seed: seed, Obs: bo})
 	case FamilyXpander:
-		return topo.Xpander(topo.XpanderConfig{Switches: switches, Radix: radix, Servers: servers, Seed: seed})
+		return topo.Xpander(topo.XpanderConfig{Switches: switches, Radix: radix, Servers: servers, Seed: seed, Obs: bo})
 	case FamilyFatClique:
 		shapes := topo.FatCliqueShapes(radix-servers, max(2, switches*4/5), switches*6/5)
 		if len(shapes) == 0 {

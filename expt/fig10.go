@@ -3,7 +3,9 @@ package expt
 import (
 	"fmt"
 	"math"
+	"sort"
 
+	"dctopo/obs"
 	"dctopo/topo"
 	"dctopo/tub"
 )
@@ -21,6 +23,10 @@ type Fig10Params struct {
 	// Workers sizes the sweep's worker pool (0 = GOMAXPROCS). Results
 	// are identical for any worker count.
 	Workers int
+	// Obs, when non-nil, traces the sweep (root span "expt.fig10", one
+	// "fig10.job" span per (size, fraction) point) and counts base-memo
+	// hits/misses. Results are identical with or without it.
+	Obs *obs.Obs
 }
 
 // DefaultFig10 matches the paper's Figure 10(a) setting (Jellyfish,
@@ -65,7 +71,7 @@ type fig10Base struct {
 // fraction) points run concurrently on the Runner pool; the intact base
 // topology and its bound are memoized per size, so the fraction jobs
 // only pay for their own degraded instance. Rows land in sweep order.
-func RunFig10(p Fig10Params) (*Fig10Result, error) {
+func RunFig10(p Fig10Params) (_ *Fig10Result, err error) {
 	type job struct {
 		size, fraction int // indices into SizeList / Fractions
 	}
@@ -75,15 +81,17 @@ func RunFig10(p Fig10Params) (*Fig10Result, error) {
 			jobs = append(jobs, job{si, fi})
 		}
 	}
-	var memo Memo
-	base := func(si int) (*fig10Base, error) {
+	ro, rsp := p.Obs.Start("expt.fig10", obs.Int("jobs", len(jobs)))
+	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
+	memo := Memo{Obs: ro}
+	base := func(si int, jo *obs.Obs) (*fig10Base, error) {
 		n := p.SizeList[si]
 		v, err := memo.Do(fmt.Sprintf("base-%d", n), func() (interface{}, error) {
-			t, err := Build(p.Family, n/p.Servers, p.Radix, p.Servers, p.Seed)
+			t, err := BuildObs(p.Family, n/p.Servers, p.Radix, p.Servers, p.Seed, jo)
 			if err != nil {
 				return nil, err
 			}
-			ub, err := tub.Bound(t, tub.Options{})
+			ub, err := tub.Bound(t, tub.Options{Obs: jo})
 			if err != nil {
 				return nil, err
 			}
@@ -95,8 +103,11 @@ func RunFig10(p Fig10Params) (*Fig10Result, error) {
 		return v.(*fig10Base), nil
 	}
 	rows := make([]Fig10Row, len(jobs))
-	err := NewRunner(p.Workers).ForEach(len(jobs), func(i int) error {
-		b, err := base(jobs[i].size)
+	err = NewRunner(p.Workers).Observe(ro, "fig10").ForEach(len(jobs), func(i int) error {
+		jo, jsp := ro.Start("fig10.job",
+			obs.Int("n", p.SizeList[jobs[i].size]), obs.Float("f", p.Fractions[jobs[i].fraction]))
+		defer jsp.End()
+		b, err := base(jobs[i].size, jo)
 		if err != nil {
 			return err
 		}
@@ -112,7 +123,7 @@ func RunFig10(p Fig10Params) (*Fig10Result, error) {
 		if ferr != nil {
 			return fmt.Errorf("expt: fig10 f=%v: %w", f, ferr)
 		}
-		ub, err := tub.Bound(failed, tub.Options{})
+		ub, err := tub.Bound(failed, tub.Options{Obs: jo})
 		if err != nil {
 			return err
 		}
@@ -162,8 +173,13 @@ func (r *Fig10Result) Table() *Table {
 			fmt.Sprintf("%.1f%%", dev*100),
 		})
 	}
-	for n, d := range r.Deviation {
-		t.Notes = append(t.Notes, fmt.Sprintf("RMS deviation at N=%d: %.2f%%", n, d*100))
+	sizes := make([]int, 0, len(r.Deviation))
+	for n := range r.Deviation {
+		sizes = append(sizes, n)
+	}
+	sort.Ints(sizes)
+	for _, n := range sizes {
+		t.Notes = append(t.Notes, fmt.Sprintf("RMS deviation at N=%d: %.2f%%", n, r.Deviation[n]*100))
 	}
 	t.Notes = append(t.Notes, "paper shape: small topologies degrade gracefully; large ones deviate up to ~20% below nominal (Fig. 10)")
 	return t

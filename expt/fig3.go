@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dctopo/mcf"
+	"dctopo/obs"
 	"dctopo/tub"
 )
 
@@ -20,6 +21,11 @@ type Fig3Params struct {
 	// Workers sizes the sweep's worker pool (0 = GOMAXPROCS). Results
 	// are identical for any worker count.
 	Workers int
+	// Obs, when non-nil, traces the sweep: an "expt.fig3" root span, one
+	// "fig3.job" child span per (H, switches) point enclosing the
+	// topology-build/TUB/KSP/MCF stage spans, and progress ticks. Results
+	// are identical with or without it.
+	Obs *obs.Obs
 }
 
 // DefaultFig3 returns a laptop-scale parameterization (the paper uses
@@ -54,7 +60,7 @@ type Fig3Result struct {
 
 // RunFig3 reproduces Figure 3 for one family. The (H, switches) points
 // run concurrently on the Runner pool; rows land in sweep order.
-func RunFig3(p Fig3Params) (*Fig3Result, error) {
+func RunFig3(p Fig3Params) (_ *Fig3Result, err error) {
 	type job struct{ h, n int }
 	var jobs []job
 	for _, h := range p.Servers {
@@ -62,16 +68,21 @@ func RunFig3(p Fig3Params) (*Fig3Result, error) {
 			jobs = append(jobs, job{h, n})
 		}
 	}
-	run := NewRunner(p.Workers)
+	ro, rsp := p.Obs.Start("expt.fig3",
+		obs.String("family", string(p.Family)), obs.Int("jobs", len(jobs)), obs.Int("k", p.K))
+	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
+	run := NewRunner(p.Workers).Observe(ro, "fig3")
 	inner := run.InnerWorkers(len(jobs))
 	rows := make([]Fig3Row, len(jobs))
-	err := run.ForEach(len(jobs), func(i int) error {
+	err = run.ForEach(len(jobs), func(i int) error {
 		h, n := jobs[i].h, jobs[i].n
-		t, err := Build(p.Family, n, p.Radix, h, p.Seed)
+		jo, jsp := ro.Start("fig3.job", obs.Int("h", h), obs.Int("n", n))
+		defer jsp.End()
+		t, err := BuildObs(p.Family, n, p.Radix, h, p.Seed, jo)
 		if err != nil {
 			return fmt.Errorf("expt: fig3 %s n=%d h=%d: %w", p.Family, n, h, err)
 		}
-		ub, err := tub.Bound(t, tub.Options{})
+		ub, err := tub.Bound(t, tub.Options{Obs: jo})
 		if err != nil {
 			return err
 		}
@@ -79,8 +90,8 @@ func RunFig3(p Fig3Params) (*Fig3Result, error) {
 		if err != nil {
 			return err
 		}
-		paths := mcf.KShortestWorkers(t, tm, p.K, inner)
-		theta, err := mcf.Throughput(t, tm, paths, mcf.Options{Method: mcf.Approx, Eps: 0.02, Workers: inner})
+		paths := mcf.KShortestObs(t, tm, p.K, inner, jo)
+		theta, err := mcf.Throughput(t, tm, paths, mcf.Options{Method: mcf.Approx, Eps: 0.02, Workers: inner, Obs: jo})
 		if err != nil {
 			return err
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dctopo/mcf"
+	"dctopo/obs"
 	"dctopo/tub"
 )
 
@@ -20,6 +21,10 @@ type Fig4Params struct {
 	// Workers sizes the sweep's worker pool (0 = GOMAXPROCS). Results
 	// are identical for any worker count.
 	Workers int
+	// Obs, when non-nil, traces the sweep (root span "expt.fig4", one
+	// "fig4.job" span per size point, stage spans inside). Results are
+	// identical with or without it.
+	Obs *obs.Obs
 }
 
 // DefaultFig4 returns the laptop-scale parameterization.
@@ -60,17 +65,21 @@ type Fig4Result struct {
 
 // RunFig4 reproduces Figure 4 on Jellyfish. The size points run
 // concurrently on the Runner pool; rows land in sweep order.
-func RunFig4(p Fig4Params) (*Fig4Result, error) {
-	run := NewRunner(p.Workers)
+func RunFig4(p Fig4Params) (_ *Fig4Result, err error) {
+	ro, rsp := p.Obs.Start("expt.fig4", obs.Int("jobs", len(p.Switches)), obs.Int("k", p.K))
+	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
+	run := NewRunner(p.Workers).Observe(ro, "fig4")
 	inner := run.InnerWorkers(len(p.Switches))
 	rows := make([]Fig4Row, len(p.Switches))
-	err := run.ForEach(len(p.Switches), func(i int) error {
+	err = run.ForEach(len(p.Switches), func(i int) error {
 		n := p.Switches[i]
-		t, err := Build(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed)
+		jo, jsp := ro.Start("fig4.job", obs.Int("n", n))
+		defer jsp.End()
+		t, err := BuildObs(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed, jo)
 		if err != nil {
 			return err
 		}
-		ub, err := tub.Bound(t, tub.Options{})
+		ub, err := tub.Bound(t, tub.Options{Obs: jo})
 		if err != nil {
 			return err
 		}
@@ -78,8 +87,8 @@ func RunFig4(p Fig4Params) (*Fig4Result, error) {
 		if err != nil {
 			return err
 		}
-		paths := mcf.KShortestWorkers(t, tm, p.K, inner)
-		det, err := mcf.ThroughputDetail(t, tm, paths, mcf.Options{Method: mcf.Approx, Eps: 0.02, Workers: inner})
+		paths := mcf.KShortestObs(t, tm, p.K, inner, jo)
+		det, err := mcf.ThroughputDetail(t, tm, paths, mcf.Options{Method: mcf.Approx, Eps: 0.02, Workers: inner, Obs: jo})
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@ import (
 
 	"dctopo/estimators"
 	"dctopo/mcf"
+	"dctopo/obs"
 	"dctopo/tub"
 )
 
@@ -26,6 +27,10 @@ type Fig5Params struct {
 	// are identical for any worker count; the per-estimator runtimes
 	// naturally vary with core contention.
 	Workers int
+	// Obs, when non-nil, traces the sweep (root span "expt.fig5", one
+	// "fig5.job" span per size point, stage spans inside). Estimates are
+	// identical with or without it.
+	Obs *obs.Obs
 }
 
 // DefaultFig5 returns the laptop-scale parameterization with reference.
@@ -71,20 +76,25 @@ type Fig5Result struct {
 // Runner pool; rows land in sweep order. Estimates are deterministic;
 // the timing columns measure each estimator inside its job and so
 // reflect contention when the pool is wider than one.
-func RunFig5(p Fig5Params) (*Fig5Result, error) {
-	run := NewRunner(p.Workers)
+func RunFig5(p Fig5Params) (_ *Fig5Result, err error) {
+	ro, rsp := p.Obs.Start("expt.fig5",
+		obs.Int("jobs", len(p.Switches)), obs.Bool("reference", p.WithReference))
+	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
+	run := NewRunner(p.Workers).Observe(ro, "fig5")
 	inner := run.InnerWorkers(len(p.Switches))
 	rows := make([]Fig5Row, len(p.Switches))
-	err := run.ForEach(len(p.Switches), func(i int) error {
+	err = run.ForEach(len(p.Switches), func(i int) error {
 		n := p.Switches[i]
-		t, err := Build(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed)
+		jo, jsp := ro.Start("fig5.job", obs.Int("n", n))
+		defer jsp.End()
+		t, err := BuildObs(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed, jo)
 		if err != nil {
 			return err
 		}
 		row := Fig5Row{Switches: t.NumSwitches(), Servers: t.NumServers()}
 
 		start := time.Now()
-		ub, err := tub.Bound(t, tub.Options{})
+		ub, err := tub.Bound(t, tub.Options{Obs: jo})
 		if err != nil {
 			return err
 		}
@@ -114,7 +124,7 @@ func RunFig5(p Fig5Params) (*Fig5Result, error) {
 		if err != nil {
 			return err
 		}
-		paths := mcf.KShortestWorkers(t, tm, p.K, inner)
+		paths := mcf.KShortestObs(t, tm, p.K, inner, jo)
 
 		start = time.Now()
 		hm, err := estimators.Hoefler(t, tm, paths)
@@ -132,7 +142,7 @@ func RunFig5(p Fig5Params) (*Fig5Result, error) {
 
 		if p.WithReference {
 			start = time.Now()
-			theta, err := mcf.Throughput(t, tm, paths, mcf.Options{Workers: inner})
+			theta, err := mcf.Throughput(t, tm, paths, mcf.Options{Workers: inner, Obs: jo})
 			if err != nil {
 				return err
 			}

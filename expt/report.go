@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"dctopo/obs"
 )
 
 // ReportOptions configures Report.
@@ -20,6 +22,13 @@ type ReportOptions struct {
 	// fig5, fig10, routing); 0 = GOMAXPROCS. Tables are identical for
 	// any worker count (fig5's runtime columns aside).
 	Workers int
+	// Obs, when non-nil, is threaded into every instrumented sweep, so a
+	// trace or progress sink attached to it sees the whole report run.
+	Obs *obs.Obs
+	// Convergence, when non-nil, is rendered as an extra table at the end
+	// of the report. It only fills up if it is also registered as a sink
+	// on Obs (cmd/topobench wires this for `report -convergence`).
+	Convergence *ConvergenceRecorder
 }
 
 // Report runs every experiment with its default (laptop-scale) parameters
@@ -76,7 +85,7 @@ func Report(w io.Writer, opt ReportOptions) error {
 		{"fig3", func() error {
 			for _, f := range []Family{FamilyJellyfish, FamilyXpander, FamilyFatClique} {
 				p := DefaultFig3(f)
-				p.Workers = opt.Workers
+				p.Workers, p.Obs = opt.Workers, opt.Obs
 				r, err := RunFig3(p)
 				if err != nil {
 					return err
@@ -87,7 +96,7 @@ func Report(w io.Writer, opt ReportOptions) error {
 		}},
 		{"fig4", func() error {
 			p := DefaultFig4()
-			p.Workers = opt.Workers
+			p.Workers, p.Obs = opt.Workers, opt.Obs
 			r, err := RunFig4(p)
 			if err != nil {
 				return err
@@ -97,7 +106,7 @@ func Report(w io.Writer, opt ReportOptions) error {
 		}},
 		{"fig5", func() error {
 			p := DefaultFig5()
-			p.Workers = opt.Workers
+			p.Workers, p.Obs = opt.Workers, opt.Obs
 			r, err := RunFig5(p)
 			if err != nil {
 				return err
@@ -105,7 +114,7 @@ func Report(w io.Writer, opt ReportOptions) error {
 			emit(r.Table())
 			emit(r.TimeTable())
 			lp := LargeFig5()
-			lp.Workers = opt.Workers
+			lp.Workers, lp.Obs = opt.Workers, opt.Obs
 			large, err := RunFig5(lp)
 			if err != nil {
 				return err
@@ -174,7 +183,7 @@ func Report(w io.Writer, opt ReportOptions) error {
 		}},
 		{"routing", func() error {
 			p := DefaultRouting()
-			p.Workers = opt.Workers
+			p.Workers, p.Obs = opt.Workers, opt.Obs
 			r, err := RunRouting(p)
 			if err != nil {
 				return err
@@ -205,7 +214,7 @@ func Report(w io.Writer, opt ReportOptions) error {
 			}},
 			step{"fig10 (N=32K)", func() error {
 				p := DefaultFig10()
-				p.Workers = opt.Workers
+				p.Workers, p.Obs = opt.Workers, opt.Obs
 				r, err := RunFig10(p)
 				if err != nil {
 					return err
@@ -232,5 +241,8 @@ func Report(w io.Writer, opt ReportOptions) error {
 		progress("%-24s %v", s.name, time.Since(start).Round(time.Millisecond))
 	}
 	emit(Conclusions(fig9Res, a2Res, a4Res, fig10Res))
+	if opt.Convergence != nil && opt.Convergence.Solves() > 0 {
+		emit(opt.Convergence.Table())
+	}
 	return nil
 }

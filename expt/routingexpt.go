@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dctopo/mcf"
+	"dctopo/obs"
 	"dctopo/routing"
 	"dctopo/tub"
 )
@@ -22,6 +23,10 @@ type RoutingParams struct {
 	// Workers sizes the sweep's worker pool (0 = GOMAXPROCS). Results
 	// are identical for any worker count.
 	Workers int
+	// Obs, when non-nil, traces the sweep (root span "expt.routing", one
+	// "routing.job" span per size point). Results are identical with or
+	// without it.
+	Obs *obs.Obs
 }
 
 // DefaultRouting compares on Jellyfish at MCF-able sizes.
@@ -54,16 +59,20 @@ type RoutingResult struct {
 // RunRouting measures achieved throughput per scheme on the maximal
 // permutation TM. The size points run concurrently on the Runner pool;
 // rows land in sweep order.
-func RunRouting(p RoutingParams) (*RoutingResult, error) {
-	run := NewRunner(p.Workers)
+func RunRouting(p RoutingParams) (_ *RoutingResult, err error) {
+	ro, rsp := p.Obs.Start("expt.routing", obs.Int("jobs", len(p.Switches)), obs.Int("k", p.K))
+	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
+	run := NewRunner(p.Workers).Observe(ro, "routing")
 	inner := run.InnerWorkers(len(p.Switches))
 	rows := make([]RoutingRow, len(p.Switches))
-	err := run.ForEach(len(p.Switches), func(i int) error {
-		t, err := Build(p.Family, p.Switches[i], p.Radix, p.Servers, p.Seed)
+	err = run.ForEach(len(p.Switches), func(i int) error {
+		jo, jsp := ro.Start("routing.job", obs.Int("n", p.Switches[i]))
+		defer jsp.End()
+		t, err := BuildObs(p.Family, p.Switches[i], p.Radix, p.Servers, p.Seed, jo)
 		if err != nil {
 			return err
 		}
-		ub, err := tub.Bound(t, tub.Options{})
+		ub, err := tub.Bound(t, tub.Options{Obs: jo})
 		if err != nil {
 			return err
 		}
@@ -72,8 +81,8 @@ func RunRouting(p RoutingParams) (*RoutingResult, error) {
 			return err
 		}
 		row := RoutingRow{Servers: t.NumServers(), TUB: ub.Bound}
-		paths := mcf.KShortestWorkers(t, tm, p.K, inner)
-		if row.MCF, err = mcf.Throughput(t, tm, paths, mcf.Options{Method: mcf.Approx, Eps: 0.02, Workers: inner}); err != nil {
+		paths := mcf.KShortestObs(t, tm, p.K, inner, jo)
+		if row.MCF, err = mcf.Throughput(t, tm, paths, mcf.Options{Method: mcf.Approx, Eps: 0.02, Workers: inner, Obs: jo}); err != nil {
 			return err
 		}
 		e, err := routing.ECMP(t, tm)

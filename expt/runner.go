@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"dctopo/obs"
 )
 
 // Runner fans the independent jobs of an experiment sweep (one per
@@ -14,6 +16,8 @@ import (
 // parameter struct's explicit seed, never from scheduling.
 type Runner struct {
 	workers int
+	obs     *obs.Obs
+	name    string
 }
 
 // NewRunner returns a Runner with the given pool size (<= 0 means
@@ -22,7 +26,20 @@ func NewRunner(workers int) *Runner {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{workers: workers}
+	return &Runner{workers: workers, name: "expt"}
+}
+
+// Observe attaches an instrumentation handle under the given stage name
+// and returns the Runner. ForEach then emits one "<name>.job" point per
+// job start and finish, progress ticks (done/total, rendered with an ETA
+// by obs.ProgressLogger), and an "expt.runner.queued" gauge with the
+// jobs not yet picked up. A nil handle leaves the Runner uninstrumented.
+func (r *Runner) Observe(o *obs.Obs, name string) *Runner {
+	r.obs = o
+	if name != "" {
+		r.name = name
+	}
+	return r
 }
 
 // Workers returns the pool size.
@@ -49,13 +66,27 @@ func (r *Runner) ForEach(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	run := fn
+	if r.obs != nil {
+		var started, done atomic.Int64
+		queued := r.obs.Gauge("expt.runner.queued")
+		jobName := r.name + ".job"
+		run = func(i int) error {
+			queued.Set(float64(n - int(started.Add(1))))
+			r.obs.Point(jobName, obs.Int("i", i), obs.String("state", "start"))
+			err := fn(i)
+			r.obs.Point(jobName, obs.Int("i", i), obs.String("state", "done"), obs.Bool("ok", err == nil))
+			r.obs.Progress(r.name, int(done.Add(1)), n)
+			return err
+		}
+	}
 	w := r.workers
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := run(i); err != nil {
 				return err
 			}
 		}
@@ -74,7 +105,7 @@ func (r *Runner) ForEach(n int, fn func(i int) error) error {
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := run(i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}
@@ -98,30 +129,52 @@ func (r *Runner) ForEach(n int, fn func(i int) error) error {
 // parallel jobs ask for it. Safe for concurrent use; the zero value is
 // ready.
 type Memo struct {
+	// Obs, when non-nil, counts cache behavior in the expt.memo.hits /
+	// expt.memo.misses counters.
+	Obs *obs.Obs
+
 	mu    sync.Mutex
 	cells map[string]*memoCell
 }
 
 type memoCell struct {
-	once sync.Once
+	done chan struct{}
 	val  interface{}
 	err  error
 }
 
 // Do returns the cached value for key, computing it with fn on the
 // first call. Concurrent callers of the same key block until the single
-// computation finishes; errors are cached like values.
+// in-flight computation finishes and share its outcome — including an
+// error. Errors are NOT retained, though: a failed computation's cell is
+// dropped before its waiters are released, so the next Do after a
+// transient failure recomputes instead of replaying a poisoned result
+// for the rest of the sweep. Only successful values are cached forever.
 func (m *Memo) Do(key string, fn func() (interface{}, error)) (interface{}, error) {
 	m.mu.Lock()
 	if m.cells == nil {
 		m.cells = make(map[string]*memoCell)
 	}
-	c := m.cells[key]
-	if c == nil {
-		c = new(memoCell)
-		m.cells[key] = c
+	if c, ok := m.cells[key]; ok {
+		m.mu.Unlock()
+		m.Obs.Counter("expt.memo.hits").Add(1)
+		<-c.done
+		return c.val, c.err
 	}
+	c := &memoCell{done: make(chan struct{})}
+	m.cells[key] = c
 	m.mu.Unlock()
-	c.once.Do(func() { c.val, c.err = fn() })
+	m.Obs.Counter("expt.memo.misses").Add(1)
+	c.val, c.err = fn()
+	if c.err != nil {
+		// Drop the poisoned cell before waking waiters: once they (and
+		// we) report this error, a fresh Do gets a fresh computation.
+		m.mu.Lock()
+		if m.cells[key] == c {
+			delete(m.cells, key)
+		}
+		m.mu.Unlock()
+	}
+	close(c.done)
 	return c.val, c.err
 }

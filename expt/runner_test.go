@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"dctopo/obs"
 )
 
 func runnerWorkerCounts() []int {
@@ -85,13 +87,80 @@ func TestMemoComputesOnce(t *testing.T) {
 	if got := calls.Load(); got != 1 {
 		t.Fatalf("memo fn ran %d times, want 1", got)
 	}
-	// Errors are cached too.
+}
+
+// TestMemoErrorNotRetained: a failed computation must not poison its key —
+// the next Do recomputes (regression test: Do used to cache errors
+// forever, so one transient failure killed every later job of a sweep).
+func TestMemoErrorNotRetained(t *testing.T) {
+	var m Memo
 	boom := errors.New("boom")
-	if _, err := m.Do("bad", func() (interface{}, error) { return nil, boom }); !errors.Is(err, boom) {
-		t.Fatal("error not returned")
+	if _, err := m.Do("key", func() (interface{}, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("first Do: got %v, want boom", err)
 	}
-	if _, err := m.Do("bad", func() (interface{}, error) { t.Error("recomputed"); return nil, nil }); !errors.Is(err, boom) {
-		t.Fatal("error not cached")
+	v, err := m.Do("key", func() (interface{}, error) { return 7, nil })
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("retry after failure: got (%v, %v), want (7, nil)", v, err)
+	}
+	// And the successful value now sticks.
+	v, err = m.Do("key", func() (interface{}, error) { t.Error("recomputed after success"); return nil, nil })
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("cached value: got (%v, %v), want (7, nil)", v, err)
+	}
+}
+
+// TestMemoConcurrentWaitersShareError: callers that pile onto an
+// in-flight computation all see its error (no thundering recompute
+// mid-flight), while calls after it completes get a fresh attempt.
+func TestMemoConcurrentWaitersShareError(t *testing.T) {
+	m := Memo{Obs: obs.New()}
+	boom := errors.New("boom")
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var calls, sawBoom atomic.Int32
+
+	go func() {
+		m.Do("key", func() (interface{}, error) {
+			calls.Add(1)
+			close(entered)
+			<-release
+			return nil, boom
+		})
+	}()
+	<-entered
+
+	const waiters = 8
+	done := make(chan struct{})
+	for i := 0; i < waiters; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			_, err := m.Do("key", func() (interface{}, error) {
+				t.Error("waiter started a second computation mid-flight")
+				return nil, nil
+			})
+			if errors.Is(err, boom) {
+				sawBoom.Add(1)
+			}
+		}()
+	}
+	// Every waiter bumps expt.memo.hits while holding the in-flight cell,
+	// so once the counter reaches them all it is safe to let fn fail.
+	hits := m.Obs.Counter("expt.memo.hits")
+	for hits.Value() < waiters {
+		runtime.Gosched()
+	}
+	close(release)
+	for i := 0; i < waiters; i++ {
+		<-done
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("computation ran %d times while in flight, want 1", got)
+	}
+	if got := sawBoom.Load(); got != waiters {
+		t.Fatalf("%d/%d waiters saw the in-flight error", got, waiters)
+	}
+	if v, err := m.Do("key", func() (interface{}, error) { return 1, nil }); err != nil || v.(int) != 1 {
+		t.Fatalf("post-failure Do: got (%v, %v), want (1, nil)", v, err)
 	}
 }
 

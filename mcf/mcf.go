@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"dctopo/internal/lp"
+	"dctopo/obs"
 	"dctopo/topo"
 	"dctopo/traffic"
 )
@@ -60,6 +61,11 @@ type Options struct {
 	// bit-identical for any worker count; the exact simplex backend is
 	// single-threaded and ignores this field.
 	Workers int
+	// Obs, when non-nil, receives an "mcf.solve" span with a per-backend
+	// child span; the Garg–Könemann child emits one "mcf.round" point
+	// event per round (round, phase, active, dual, lambda, theta_lb).
+	// Instrumentation never changes the solution.
+	Obs *obs.Obs
 }
 
 // exact solver size limits for Auto: beyond these the dense tableau gets
@@ -102,25 +108,41 @@ func ThroughputDetail(t *topo.Topology, m *traffic.Matrix, p *Paths, opt Options
 		}
 	}
 	inst := newInstance(t, m, p)
+	mo, solve := opt.Obs.Start("mcf.solve",
+		obs.Int("demands", len(m.Demands)), obs.Int("paths", p.NumPaths()), obs.Int("edges", inst.numEdges))
+	exact := func() (float64, []float64, error) {
+		_, sp := mo.Start("mcf.exact")
+		theta, flat, err := inst.solveExact()
+		sp.End(obs.Float("theta", theta))
+		return theta, flat, err
+	}
+	approx := func() (float64, []float64) {
+		gko, sp := mo.Start("mcf.gk", obs.Float("eps", opt.eps()))
+		theta, flat := inst.solveGK(opt.eps(), opt.Workers, gko)
+		sp.End(obs.Float("theta", theta))
+		return theta, flat
+	}
 	var theta float64
 	var flat []float64
 	var err error
 	switch opt.Method {
 	case Exact:
-		theta, flat, err = inst.solveExact()
+		theta, flat, err = exact()
 	case Approx:
-		theta, flat = inst.solveGK(opt.eps(), opt.Workers)
+		theta, flat = approx()
 	default:
 		rows := len(m.Demands) + inst.numEdges
 		if p.NumPaths() <= autoMaxPathVars && rows <= autoMaxRows {
-			theta, flat, err = inst.solveExact()
+			theta, flat, err = exact()
 		} else {
-			theta, flat = inst.solveGK(opt.eps(), opt.Workers)
+			theta, flat = approx()
 		}
 	}
 	if err != nil {
+		solve.End(obs.String("error", err.Error()))
 		return nil, err
 	}
+	solve.End(obs.Float("theta", theta))
 	d := &Detail{Theta: theta, PathFlows: make([][]float64, len(m.Demands))}
 	for j, pids := range inst.pathsOf {
 		d.PathFlows[j] = make([]float64, len(pids))
@@ -230,7 +252,16 @@ const gkSeqScanMax = 32
 // solution is bit-identical for any worker count. The result is a
 // feasible throughput and, for the path-restricted problem, within ≈(1−3ε)
 // of optimal.
-func (inst *instance) solveGK(eps float64, workers int) (float64, []float64) {
+//
+// When o is non-nil, every round emits an "mcf.round" point event with
+// the convergence state: round and phase index, active demand count, the
+// dual objective D = Σ c_e·l_e (termination at D ≥ 1), the running worst
+// link overload λ, and theta_lb = completed_phases/λ — the throughput the
+// flow accumulated so far would achieve if rescaled now, a primal lower
+// bound that climbs toward the final answer. Tracking λ incrementally
+// costs one extra pass per augmentation, paid only when o is non-nil; the
+// algorithm's arithmetic is untouched either way.
+func (inst *instance) solveGK(eps float64, workers int, o *obs.Obs) (float64, []float64) {
 	mEdges := float64(inst.numEdges)
 	delta := (1 + eps) * math.Pow((1+eps)*mEdges, -1/eps)
 	if delta <= 0 || math.IsNaN(delta) {
@@ -262,6 +293,14 @@ func (inst *instance) solveGK(eps float64, workers int) (float64, []float64) {
 	choice := make([]int32, n)
 	active := make([]int32, 0, n)
 
+	// Convergence tracking, allocated only when observed.
+	var obsLoad []float64
+	var obsLambda float64
+	round, phase, phasesDone := 0, 0, 0
+	if o != nil {
+		obsLoad = make([]float64, inst.numEdges)
+	}
+
 	// scan picks the cheapest path of each active demand in [lo, hi)
 	// under the current lengths. Read-only on shared state; ties keep the
 	// lowest path id, matching a sequential first-wins scan.
@@ -290,6 +329,7 @@ func (inst *instance) solveGK(eps float64, workers int) (float64, []float64) {
 
 	for d < 1 {
 		// New phase: every demand routes its full amount again.
+		phase++
 		active = active[:0]
 		for j := range inst.demands {
 			if inst.demands[j].Amount > 1e-15 {
@@ -322,11 +362,33 @@ func (inst *instance) solveGK(eps float64, workers int) (float64, []float64) {
 					d += inst.capOf[e] * length[e] * grow
 					length[e] *= 1 + grow
 				}
+				if obsLoad != nil {
+					for _, e := range inst.edgeList[pid] {
+						obsLoad[e] += g
+						if r := obsLoad[e] / inst.capOf[e]; r > obsLambda {
+							obsLambda = r
+						}
+					}
+				}
 				if rem[j] > 1e-15 {
 					keep = append(keep, j)
 				}
 			}
 			active = keep
+			if o != nil {
+				round++
+				if len(active) == 0 {
+					phasesDone = phase
+				}
+				thetaLB := 0.0
+				if obsLambda > 0 {
+					thetaLB = float64(phasesDone) / obsLambda
+				}
+				o.Point("mcf.round",
+					obs.Int("round", round), obs.Int("phase", phase),
+					obs.Int("active", len(active)), obs.Float("dual", d),
+					obs.Float("lambda", obsLambda), obs.Float("theta_lb", thetaLB))
+			}
 		}
 	}
 

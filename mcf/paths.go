@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"dctopo/internal/graph"
+	"dctopo/obs"
 	"dctopo/topo"
 	"dctopo/traffic"
 )
@@ -66,6 +67,15 @@ func KShortest(t *topo.Topology, m *traffic.Matrix, k int) *Paths {
 // (workers <= 0 means GOMAXPROCS). The result is identical for any
 // worker count.
 func KShortestWorkers(t *topo.Topology, m *traffic.Matrix, k, workers int) *Paths {
+	return KShortestObs(t, m, k, workers, nil)
+}
+
+// KShortestObs is KShortestWorkers with instrumentation: when o is
+// non-nil it wraps the computation in an "mcf.ksp" span and bumps the
+// "mcf.ksp.pairs" / "mcf.ksp.paths" counters (unique Yen invocations and
+// total paths produced). The result is identical with or without o.
+func KShortestObs(t *topo.Topology, m *traffic.Matrix, k, workers int, o *obs.Obs) *Paths {
+	_, sp := o.Start("mcf.ksp", obs.Int("k", k), obs.Int("demands", len(m.Demands)))
 	g := t.Graph()
 	// Deduplicate demands down to unique unordered pairs, canonically
 	// ordered (src < dst) so the Yen direction does not depend on demand
@@ -133,6 +143,15 @@ func KShortestWorkers(t *topo.Topology, m *traffic.Matrix, k, workers int) *Path
 		default:
 			out.ByDemand[i] = rv[pairIdx[[2]int{d.Dst, d.Src}]]
 		}
+	}
+	if o != nil {
+		yielded := 0
+		for _, ps := range fw {
+			yielded += len(ps)
+		}
+		o.Counter("mcf.ksp.pairs").Add(int64(len(pairs)))
+		o.Counter("mcf.ksp.paths").Add(int64(yielded))
+		sp.End(obs.Int("pairs", len(pairs)), obs.Int("paths", yielded))
 	}
 	return out
 }

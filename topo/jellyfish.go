@@ -6,6 +6,7 @@ import (
 
 	"dctopo/internal/graph"
 	"dctopo/internal/rng"
+	"dctopo/obs"
 )
 
 // JellyfishConfig describes a Jellyfish topology [Singla et al., NSDI'12]:
@@ -16,6 +17,12 @@ type JellyfishConfig struct {
 	Radix    int    // switch radix (R)
 	Servers  int    // servers per switch (H)
 	Seed     uint64 // RNG seed; a given config+seed is reproducible
+	// Obs, when non-nil, counts the construction work:
+	// topo.jellyfish.attempts (configuration-model builds),
+	// topo.jellyfish.swap_repairs (double-edge swaps fixing self-loops
+	// and duplicates) and topo.jellyfish.connect_swaps (swaps joining
+	// components). The generated graph is identical with or without it.
+	Obs *obs.Obs
 }
 
 // Jellyfish generates a Jellyfish topology. The switch graph is a uniform
@@ -38,9 +45,13 @@ func Jellyfish(cfg JellyfishConfig) (*Topology, error) {
 	}
 	rnd := rng.New(cfg.Seed)
 	var g *graph.Graph
+	var st rrStats
 	var err error
 	for attempt := 0; attempt < 20; attempt++ {
-		g, err = randomRegular(cfg.Switches, r, rnd)
+		cfg.Obs.Counter("topo.jellyfish.attempts").Add(1)
+		g, st, err = randomRegular(cfg.Switches, r, rnd)
+		cfg.Obs.Counter("topo.jellyfish.swap_repairs").Add(int64(st.repairs))
+		cfg.Obs.Counter("topo.jellyfish.connect_swaps").Add(int64(st.connects))
 		if err == nil {
 			break
 		}
@@ -56,10 +67,17 @@ func Jellyfish(cfg JellyfishConfig) (*Topology, error) {
 	return New(name, g, servers)
 }
 
+// rrStats counts the repair work one randomRegular run performed.
+type rrStats struct {
+	repairs  int // double-edge swaps fixing self-loops / duplicate edges
+	connects int // degree-preserving swaps joining components
+}
+
 // randomRegular builds a connected random r-regular simple graph on n
 // nodes via the configuration model with repair. If n·r is odd, one node
 // has degree r−1.
-func randomRegular(n, r int, rnd *rng.RNG) (*graph.Graph, error) {
+func randomRegular(n, r int, rnd *rng.RNG) (*graph.Graph, rrStats, error) {
+	var st rrStats
 	type edge = rrEdge
 	stubs := make([]int32, 0, n*r)
 	for v := 0; v < n; v++ {
@@ -98,11 +116,11 @@ func randomRegular(n, r int, rnd *rng.RNG) (*graph.Graph, error) {
 	// Repair bad pairs with double-edge swaps against random good edges.
 	for iter := 0; len(bad) > 0; iter++ {
 		if iter > 200*n*r {
-			return nil, errors.New("edge repair did not converge")
+			return nil, st, errors.New("edge repair did not converge")
 		}
 		e := bad[len(bad)-1]
 		if len(edges) == 0 {
-			return nil, errors.New("no edges available for repair")
+			return nil, st, errors.New("no edges available for repair")
 		}
 		i := rnd.Intn(len(edges))
 		f := edges[i]
@@ -116,6 +134,7 @@ func randomRegular(n, r int, rnd *rng.RNG) (*graph.Graph, error) {
 			}
 		}
 		bad = bad[:len(bad)-1]
+		st.repairs++
 		delete(adj, key(f.u, f.v))
 		edges[i] = edges[len(edges)-1]
 		edges = edges[:len(edges)-1]
@@ -127,7 +146,7 @@ func randomRegular(n, r int, rnd *rng.RNG) (*graph.Graph, error) {
 	g := buildFrom(n, edges)
 	for iter := 0; !g.Connected(); iter++ {
 		if iter > 10*n {
-			return nil, errors.New("connectivity repair did not converge")
+			return nil, st, errors.New("connectivity repair did not converge")
 		}
 		comp := componentOf(g)
 		// Pick an edge inside component 0 and one outside; swap.
@@ -142,7 +161,7 @@ func randomRegular(n, r int, rnd *rng.RNG) (*graph.Graph, error) {
 		if len(in) == 0 || len(out) == 0 {
 			// Components joined only through cross edges already; pick any
 			// two edges from distinct components.
-			return nil, errors.New("cannot find swap candidates")
+			return nil, st, errors.New("cannot find swap candidates")
 		}
 		swapped := false
 		for tries := 0; tries < 100 && !swapped; tries++ {
@@ -156,15 +175,16 @@ func randomRegular(n, r int, rnd *rng.RNG) (*graph.Graph, error) {
 				edges[eo] = edge{e.v, f.v}
 				adj[key(e.u, f.u)] = true
 				adj[key(e.v, f.v)] = true
+				st.connects++
 				swapped = true
 			}
 		}
 		if !swapped {
-			return nil, errors.New("connectivity swap failed")
+			return nil, st, errors.New("connectivity swap failed")
 		}
 		g = buildFrom(n, edges)
 	}
-	return g, nil
+	return g, st, nil
 }
 
 // rrEdge is an undirected edge during random-regular construction.

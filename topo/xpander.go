@@ -6,6 +6,7 @@ import (
 
 	"dctopo/internal/graph"
 	"dctopo/internal/rng"
+	"dctopo/obs"
 )
 
 // XpanderConfig describes an Xpander topology [Valadarsky et al.,
@@ -17,6 +18,11 @@ type XpanderConfig struct {
 	Radix    int    // switch radix (R)
 	Servers  int    // servers per switch (H)
 	Seed     uint64 // RNG seed
+	// Obs, when non-nil, counts construction work: topo.xpander.lifts
+	// (random k-lifts attempted) and topo.xpander.lift_retries (lifts
+	// redrawn because they came out disconnected). The generated graph
+	// is identical with or without it.
+	Obs *obs.Obs
 }
 
 // Xpander generates an Xpander topology via a random k-lift of K_{d+1}:
@@ -44,6 +50,10 @@ func Xpander(cfg XpanderConfig) (*Topology, error) {
 	var g *graph.Graph
 	var err error
 	for attempt := 0; attempt < 20; attempt++ {
+		cfg.Obs.Counter("topo.xpander.lifts").Add(1)
+		if attempt > 0 {
+			cfg.Obs.Counter("topo.xpander.lift_retries").Add(1)
+		}
 		g, err = randomLift(d, k, rnd)
 		if err == nil {
 			break

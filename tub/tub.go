@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"dctopo/internal/match"
+	"dctopo/obs"
 	"dctopo/topo"
 	"dctopo/traffic"
 )
@@ -57,6 +58,21 @@ const (
 	autoAuctionMax = 6000
 )
 
+// String names the matcher (used in trace attributes and logs).
+func (m Matcher) String() string {
+	switch m {
+	case AutoMatcher:
+		return "auto"
+	case ExactMatcher:
+		return "exact"
+	case AuctionMatcher:
+		return "auction"
+	case GreedyMatcher:
+		return "greedy"
+	}
+	return fmt.Sprintf("matcher(%d)", int(m))
+}
+
 // Options configures Bound. The zero value (AutoMatcher) is the right
 // choice for almost all uses: it selects the matcher by host-switch
 // count n — ExactMatcher (Jonker–Volgenant, O(n³)) for n ≤ 384,
@@ -71,6 +87,11 @@ const (
 // garbage Options never silently falls through to the wrong matcher.
 type Options struct {
 	Matcher Matcher
+	// Obs, when non-nil, records a "tub.bound" span with "tub.dist" and
+	// "tub.match" children; the match span's attributes name the matcher
+	// actually selected (after Auto resolution) so matcher crossovers are
+	// visible in traces. Instrumentation never changes the bound.
+	Obs *obs.Obs
 }
 
 // Result is the output of Bound.
@@ -103,7 +124,12 @@ func Bound(t *topo.Topology, opt Options) (*Result, error) {
 	if n < 2 {
 		return nil, errors.New("tub: need at least 2 host switches")
 	}
+	to, sp := opt.Obs.Start("tub.bound", obs.Int("hosts", n))
+	var bnd float64
+	defer func() { sp.End(obs.Float("bound", bnd)) }()
+	_, dsp := to.Start("tub.dist")
 	dist, err := HostDistances(t)
+	dsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -130,6 +156,7 @@ func Bound(t *topo.Topology, opt Options) (*Result, error) {
 			m = GreedyMatcher
 		}
 	}
+	_, msp := to.Start("tub.match", obs.String("matcher", m.String()))
 	var res *match.Result
 	switch m {
 	case ExactMatcher:
@@ -139,8 +166,10 @@ func Bound(t *topo.Topology, opt Options) (*Result, error) {
 	case GreedyMatcher:
 		res = match.Greedy(n, weight)
 	default:
+		msp.End()
 		return nil, fmt.Errorf("tub: unknown matcher %d", m)
 	}
+	msp.End(obs.Int64("weighted_len", res.Total))
 
 	out := &Result{
 		Perm:        res.Col,
@@ -152,6 +181,7 @@ func Bound(t *topo.Topology, opt Options) (*Result, error) {
 		return nil, errors.New("tub: degenerate maximal permutation (zero total path length)")
 	}
 	out.Bound = float64(out.TwoE) / float64(out.WeightedLen)
+	bnd = out.Bound
 	return out, nil
 }
 
