@@ -425,3 +425,33 @@ func BenchmarkMCFObsOverhead(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkHostDistances is the tentpole's acceptance benchmark: the
+// bit-parallel multi-source BFS kernel vs the retained scalar baseline on
+// a Jellyfish instance with >= 2048 host switches, at equal GOMAXPROCS.
+// The kernel must win by >= 3x; the CI bench job records both in
+// BENCH_msbfs.json. sources/s is full BFS traversals completed per
+// second (hosts / wall time).
+func BenchmarkHostDistances(b *testing.B) {
+	t := benchTopology(b, 2048, 16, 4)
+	hosts := len(t.Hosts())
+	run := func(b *testing.B, f func() ([][]uint8, error)) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			d, err := f()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(d) != hosts {
+				b.Fatalf("%d rows, want %d", len(d), hosts)
+			}
+		}
+		b.ReportMetric(float64(hosts)*float64(b.N)/b.Elapsed().Seconds(), "sources/s")
+	}
+	b.Run("kernel=bitparallel", func(b *testing.B) {
+		run(b, func() ([][]uint8, error) { return tub.HostDistancesWorkers(t, 0) })
+	})
+	b.Run("kernel=scalar", func(b *testing.B) {
+		run(b, func() ([][]uint8, error) { return tub.HostDistancesScalar(t, 0) })
+	})
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dctopo/topo"
+	"dctopo/tub"
+)
+
+// benchEntry is one benchmark record of BENCH_msbfs.json: a kernel run
+// of HostDistances on one Jellyfish size.
+type benchEntry struct {
+	Name          string  `json:"name"`
+	Switches      int     `json:"switches"`
+	Hosts         int     `json:"hosts"`
+	Kernel        string  `json:"kernel"`
+	NsPerOp       float64 `json:"ns_op"`
+	BytesPerOp    int64   `json:"b_op"`
+	AllocsPerOp   int64   `json:"allocs_op"`
+	SourcesPerSec float64 `json:"sources_per_sec"`
+}
+
+// benchReport is the BENCH_msbfs.json document.
+type benchReport struct {
+	Benchmark  string       `json:"benchmark"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Entries    []benchEntry `json:"entries"`
+	// Speedup maps "switches=N" to bitparallel/scalar wall-clock ratio.
+	Speedup map[string]float64 `json:"speedup"`
+}
+
+// cmdBench runs the distance-kernel benchmarks (bit-parallel multi-source
+// BFS vs the scalar baseline) on Jellyfish instances and writes the
+// machine-readable BENCH_msbfs.json consumed by the CI perf-tracking
+// artifact.
+func cmdBench(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	sizes := fs.String("sizes", "1024,2048,4096", "comma-separated Jellyfish switch counts")
+	radix := fs.Int("radix", 16, "switch radix")
+	servers := fs.Int("servers", 4, "servers per switch")
+	out := fs.String("o", "BENCH_msbfs.json", "output JSON path (- for stdout)")
+	var rf runFlags
+	rf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, done, err := rf.observe()
+	if err != nil {
+		return err
+	}
+	defer done()
+	stop, err := rf.profile()
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	rep := benchReport{
+		Benchmark:  "HostDistances/jellyfish",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Speedup:    map[string]float64{},
+	}
+	for _, tok := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return fmt.Errorf("bad -sizes entry %q: %v", tok, err)
+		}
+		t, err := topo.Jellyfish(topo.JellyfishConfig{Switches: n, Radix: *radix, Servers: *servers, Seed: 1})
+		if err != nil {
+			return err
+		}
+		hosts := len(t.Hosts())
+		var perKernel [2]float64
+		for ki, k := range []struct {
+			name string
+			run  func() ([][]uint8, error)
+		}{
+			{"bitparallel", func() ([][]uint8, error) { return tub.HostDistancesWorkers(t, 0) }},
+			{"scalar", func() ([][]uint8, error) { return tub.HostDistancesScalar(t, 0) }},
+		} {
+			var benchErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := k.run(); err != nil {
+						benchErr = err
+						b.Fatal(err)
+					}
+				}
+			})
+			if benchErr != nil {
+				return benchErr
+			}
+			nsOp := float64(r.NsPerOp())
+			perKernel[ki] = nsOp
+			rep.Entries = append(rep.Entries, benchEntry{
+				Name:          fmt.Sprintf("BenchmarkHostDistances/switches=%d/kernel=%s", n, k.name),
+				Switches:      n,
+				Hosts:         hosts,
+				Kernel:        k.name,
+				NsPerOp:       nsOp,
+				BytesPerOp:    r.AllocedBytesPerOp(),
+				AllocsPerOp:   r.AllocsPerOp(),
+				SourcesPerSec: float64(hosts) * 1e9 / nsOp,
+			})
+			fmt.Fprintf(os.Stderr, "switches=%d kernel=%s: %.2f ms/op, %.0f sources/s\n",
+				n, k.name, nsOp/1e6, float64(hosts)*1e9/nsOp)
+		}
+		rep.Speedup[fmt.Sprintf("switches=%d", n)] = perKernel[1] / perKernel[0]
+	}
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = w.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (%d entries)\n", *out, len(rep.Entries))
+	return nil
+}

@@ -62,6 +62,8 @@ func main() {
 		err = cmdDesign(os.Stdout, os.Args[2:])
 	case "report":
 		err = cmdReport(os.Stdout, os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Stdout, os.Args[2:])
 	case "version", "-version", "--version":
 		printVersion(os.Stdout)
 	case "-h", "--help", "help":
@@ -88,6 +90,7 @@ commands:
   expt     run one paper experiment by id (fig3..figA5, tab3, tab5, tabA1, routing, wedge)
   design   size a full-throughput fabric and plan expansions (§5-§6 design aid)
   report   run the full experiment suite (use -heavy for paper-scale runs)
+  bench    run the distance-kernel benchmarks and write BENCH_msbfs.json
   version  print build information
 
 observability (all commands): -v, -progress, -trace FILE, -metrics ADDR,

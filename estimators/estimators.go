@@ -11,6 +11,7 @@ package estimators
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"dctopo/internal/part"
@@ -377,20 +378,28 @@ func hostDistances(t *topo.Topology) ([][]uint8, error) {
 	}
 	out := make([][]uint8, n)
 	backing := make([]uint8, n*n)
-	dist := make([]int32, g.N())
-	for i, u := range hosts {
+	for i := range out {
 		out[i] = backing[i*n : (i+1)*n]
-		dist = g.BFS(u, dist)
+	}
+	err := g.MultiBFSRows(hosts, 0, func(i int, dist []int32) error {
+		row := out[i]
 		for v, d := range dist {
 			j := pos[v]
 			if j < 0 {
 				continue
 			}
 			if d < 0 {
-				return nil, errors.New("estimators: topology disconnected")
+				return errors.New("estimators: topology disconnected")
 			}
-			out[i][j] = uint8(d)
+			if d > 255 {
+				return fmt.Errorf("estimators: distance %d exceeds uint8 range", d)
+			}
+			row[j] = uint8(d)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -114,8 +114,12 @@ func RunFig4(p Fig4Params) (_ *Fig4Result, err error) {
 		}
 
 		// (b) pairwise path-count classes for the maximal permutation.
+		// One pooled Scratch serves every pair's BFS row and DFS marker
+		// row, so the loop allocates only the paths themselves.
 		g := t.Graph()
 		hosts := t.Hosts()
+		s := run.Scratch(g.N())
+		defer run.Release(s)
 		var cnt [3]float64
 		pairs := 0
 		for i, j := range ub.Perm {
@@ -123,7 +127,8 @@ func RunFig4(p Fig4Params) (_ *Fig4Result, err error) {
 				continue
 			}
 			src, dst := hosts[i], hosts[j]
-			all := g.PathsWithin(src, dst, 2, PathCap)
+			s.Dist = g.BFS(dst, s.Dist)
+			all := g.PathsWithinDist(src, dst, s.Dist, 2, PathCap, s.OnPath)
 			spl := int(ub.Dist[i][j])
 			for _, path := range all {
 				switch path.Len() - spl {

@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Graph is an immutable undirected multigraph in CSR form. Build one with
@@ -246,69 +248,66 @@ func (g *Graph) Connected() bool {
 	return true
 }
 
-// APSP computes all-pairs hop distances as an n×n matrix of uint8, which
-// suffices for datacenter topologies (diameter < 255). It returns
-// ErrDisconnected if any pair is unreachable.
+// APSP computes all-pairs hop distances as an n×n matrix of uint8 (255
+// is a valid distance), which suffices for datacenter topologies. It
+// returns ErrDisconnected if any pair is unreachable. The per-source
+// traversals run on the bit-parallel kernel across GOMAXPROCS workers.
 func (g *Graph) APSP() ([][]uint8, error) {
-	out := make([][]uint8, g.n)
-	backing := make([]uint8, g.n*g.n)
-	dist := make([]int32, g.n)
-	for s := 0; s < g.n; s++ {
-		out[s] = backing[s*g.n : (s+1)*g.n]
-		dist = g.BFS(s, dist)
-		row := out[s]
-		for v, d := range dist {
-			if d == Unreachable {
-				return nil, ErrDisconnected
-			}
-			if d > 254 {
-				return nil, fmt.Errorf("graph: distance %d exceeds uint8 range", d)
-			}
-			row[v] = uint8(d)
-		}
-	}
-	return out, nil
+	return g.AllDistancesWorkers(g.allSources(), 0)
 }
 
 // Diameter returns the largest hop distance between any pair, or an error
 // if disconnected.
 func (g *Graph) Diameter() (int, error) {
+	var mu sync.Mutex
 	max := int32(0)
-	dist := make([]int32, g.n)
-	for s := 0; s < g.n; s++ {
-		dist = g.BFS(s, dist)
+	err := g.MultiBFSRows(g.allSources(), 0, func(_ int, dist []int32) error {
+		local := int32(0)
 		for _, d := range dist {
 			if d == Unreachable {
-				return 0, ErrDisconnected
+				return ErrDisconnected
 			}
-			if d > max {
-				max = d
+			if d > local {
+				local = d
 			}
 		}
+		mu.Lock()
+		if local > max {
+			max = local
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	return int(max), nil
 }
 
 // AvgPathLength returns the mean hop distance over ordered distinct pairs,
-// or an error if disconnected.
+// or an error if disconnected. Distances are summed as integers per
+// source and combined exactly, so the result does not depend on worker
+// scheduling.
 func (g *Graph) AvgPathLength() (float64, error) {
 	if g.n < 2 {
 		return 0, nil
 	}
-	var sum float64
-	dist := make([]int32, g.n)
-	for s := 0; s < g.n; s++ {
-		dist = g.BFS(s, dist)
-		for v, d := range dist {
+	var sum atomic.Int64
+	err := g.MultiBFSRows(g.allSources(), 0, func(_ int, dist []int32) error {
+		local := int64(0)
+		for _, d := range dist {
 			if d == Unreachable {
-				return 0, ErrDisconnected
+				return ErrDisconnected
 			}
-			if v != s {
-				sum += float64(d)
-			}
+			local += int64(d) // the source itself contributes 0
 		}
+		sum.Add(local)
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	return sum / float64(g.n*(g.n-1)), nil
+	return float64(sum.Load()) / float64(g.n*(g.n-1)), nil
 }
 
 // CopyBuilder returns a Builder pre-populated with g's edges, for mutation

@@ -1,0 +1,322 @@
+// Equivalence and edge-case coverage for the bit-parallel multi-source
+// BFS kernel: every sweep must reproduce scalar BFS exactly, for any
+// source count (both sides of ScalarCrossover), worker count, and graph
+// shape — including the generated families the repository actually
+// evaluates (external test package so the generators can be imported).
+package graph_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"dctopo/internal/graph"
+	"dctopo/topo"
+)
+
+// pathGraph returns the n-node path 0–1–…–(n-1).
+func pathGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+// randomGraph returns a random connected n-node graph: a random spanning
+// tree plus extra edges, some trunked.
+func randomGraph(n, extra int, seed int64) *graph.Graph {
+	rnd := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(v, rnd.Intn(v))
+	}
+	for i := 0; i < extra; i++ {
+		u, v := rnd.Intn(n), rnd.Intn(n)
+		if u == v {
+			continue
+		}
+		b.AddEdgeMult(u, v, 1+rnd.Intn(3))
+	}
+	return b.Build()
+}
+
+// checkRowsMatchScalar runs MultiBFSRows over sources with the given
+// worker count and compares every row to scalar BFS output.
+func checkRowsMatchScalar(t *testing.T, g *graph.Graph, sources []int, workers int) {
+	t.Helper()
+	want := make([][]int32, len(sources))
+	for i, s := range sources {
+		want[i] = g.BFS(s, nil)
+	}
+	seen := make([]bool, len(sources))
+	err := g.MultiBFSRows(sources, workers, func(i int, dist []int32) error {
+		if seen[i] {
+			t.Errorf("fill called twice for source index %d", i)
+		}
+		seen[i] = true
+		for v := range dist {
+			if dist[v] != want[i][v] {
+				return fmt.Errorf("source %d (index %d): dist[%d] = %d, scalar BFS says %d",
+					sources[i], i, v, dist[v], want[i][v])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("workers=%d: fill never called for source index %d", workers, i)
+		}
+	}
+}
+
+func TestMultiBFSRowsMatchesScalarRandom(t *testing.T) {
+	for _, tc := range []struct{ n, extra int }{
+		{5, 2}, {17, 10}, {64, 40}, {130, 200}, {257, 100},
+	} {
+		for seed := int64(0); seed < 3; seed++ {
+			g := randomGraph(tc.n, tc.extra, seed)
+			all := make([]int, g.N())
+			for i := range all {
+				all[i] = i
+			}
+			few := graph.ScalarCrossover - 1
+			if few > len(all) {
+				few = len(all)
+			}
+			for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+				checkRowsMatchScalar(t, g, all, workers)
+				// Scalar-fallback path: fewer than ScalarCrossover sources.
+				checkRowsMatchScalar(t, g, all[:few], workers)
+			}
+		}
+	}
+}
+
+// TestMultiBFSRowsCrossoverBoundary pins both sides of the kernel switch:
+// ScalarCrossover-1 sources (scalar fallback) and ScalarCrossover sources
+// (first bit-parallel batch) must both reproduce scalar BFS on the same
+// graph.
+func TestMultiBFSRowsCrossoverBoundary(t *testing.T) {
+	g := randomGraph(80, 60, 42)
+	sources := []int{3, 11, 0, 79, 42, 17, 8, 25, 60}
+	for _, ns := range []int{graph.ScalarCrossover - 1, graph.ScalarCrossover} {
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			checkRowsMatchScalar(t, g, sources[:ns], workers)
+		}
+	}
+}
+
+func TestMultiBFSRowsMatchesScalarGenerated(t *testing.T) {
+	jf, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 120, Radix: 8, Servers: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xp, err := topo.Xpander(topo.XpanderConfig{Switches: 96, Radix: 8, Servers: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := topo.Clos(topo.ClosConfig{Radix: 6, Layers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range []*topo.Topology{jf, xp, cl} {
+		g := tp.Graph()
+		hosts := tp.Hosts()
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			checkRowsMatchScalar(t, g, hosts, workers)
+		}
+	}
+}
+
+// TestMultiBFSRowsDisconnected checks that unreachable vertices carry
+// Unreachable in batch mode exactly as in scalar BFS, and that the
+// uint8 narrowing surfaces ErrDisconnected.
+func TestMultiBFSRowsDisconnected(t *testing.T) {
+	// Two components: a 40-ring and a 30-ring.
+	b := graph.NewBuilder(70)
+	for i := 0; i < 40; i++ {
+		b.AddEdge(i, (i+1)%40)
+	}
+	for i := 0; i < 30; i++ {
+		b.AddEdge(40+i, 40+(i+1)%30)
+	}
+	g := b.Build()
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		checkRowsMatchScalar(t, g, all, workers)
+	}
+	if _, err := g.AllDistances(all); !errors.Is(err, graph.ErrDisconnected) {
+		t.Fatalf("AllDistances on disconnected graph: err = %v, want ErrDisconnected", err)
+	}
+}
+
+// TestMultiBFSRowsMultigraph checks that trunked (multiplicity > 1) links
+// do not perturb hop distances in the bit-parallel sweep.
+func TestMultiBFSRowsMultigraph(t *testing.T) {
+	b := graph.NewBuilder(20)
+	for i := 0; i+1 < 20; i++ {
+		b.AddEdgeMult(i, i+1, 1+i%4)
+	}
+	b.AddEdgeMult(0, 10, 3)
+	g := b.Build()
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	checkRowsMatchScalar(t, g, all, 1)
+}
+
+// TestMultiBFSEmitOrder pins the deterministic emit sequence: sources in
+// order, vertices ascending, unreachable vertices skipped.
+func TestMultiBFSEmitOrder(t *testing.T) {
+	g := randomGraph(30, 20, 3)
+	sources := []int{5, 1, 28, 5, 0, 13, 7, 19, 2}
+	var got [][3]int
+	g.MultiBFS(sources, func(src, v, dist int) {
+		got = append(got, [3]int{src, v, dist})
+	})
+	var want [][3]int
+	for _, s := range sources {
+		dist := g.BFS(s, nil)
+		for v, d := range dist {
+			if d >= 0 {
+				want = append(want, [3]int{s, v, int(d)})
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("emitted %d tuples, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("emit[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestAllDistances255 pins the uint8 boundary: a 256-node path has
+// diameter 255, which must be accepted; 257 nodes must overflow with a
+// distance error, not silently wrap.
+func TestAllDistances255(t *testing.T) {
+	g := pathGraph(256)
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	d, err := g.AllDistances(all)
+	if err != nil {
+		t.Fatalf("256-node path: %v", err)
+	}
+	if d[0][255] != 255 || d[255][0] != 255 {
+		t.Fatalf("corner distances = %d, %d, want 255, 255", d[0][255], d[255][0])
+	}
+	if _, err := g.APSP(); err != nil {
+		t.Fatalf("APSP on 256-node path: %v", err)
+	}
+
+	g = pathGraph(257)
+	all = append(all, 256)
+	if _, err := g.AllDistances(all); err == nil || errors.Is(err, graph.ErrDisconnected) {
+		t.Fatalf("257-node path: err = %v, want uint8 overflow error", err)
+	}
+}
+
+// TestMultiBFSRowsErrorLowestIndex checks the deterministic error
+// contract: when fills fail, the error of the lowest observed source
+// index is returned.
+func TestMultiBFSRowsErrorLowestIndex(t *testing.T) {
+	g := randomGraph(50, 30, 1)
+	sources := make([]int, 150) // 3 batches
+	for i := range sources {
+		sources[i] = i % g.N()
+	}
+	boom := func(i int) error { return fmt.Errorf("boom %d", i) }
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		err := g.MultiBFSRows(sources, workers, func(i int, dist []int32) error {
+			return boom(i)
+		})
+		if err == nil || err.Error() != "boom 0" {
+			t.Fatalf("workers=%d: err = %v, want boom 0", workers, err)
+		}
+	}
+	// Sequential sweep with failures at 3 and 5: index 3 wins.
+	err := g.MultiBFSRows(sources, 1, func(i int, dist []int32) error {
+		if i == 3 || i == 5 {
+			return boom(i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom 3" {
+		t.Fatalf("err = %v, want boom 3", err)
+	}
+}
+
+// TestAPSPDiameterAvgMatchScalar cross-checks the rewired aggregate
+// consumers against direct scalar computation.
+func TestAPSPDiameterAvgMatchScalar(t *testing.T) {
+	g := randomGraph(90, 70, 11)
+	d, err := g.APSP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDiam := 0
+	var wantSum int64
+	for s := 0; s < g.N(); s++ {
+		dist := g.BFS(s, nil)
+		for v, dd := range dist {
+			if int32(d[s][v]) != dd {
+				t.Fatalf("APSP[%d][%d] = %d, scalar %d", s, v, d[s][v], dd)
+			}
+			if int(dd) > wantDiam {
+				wantDiam = int(dd)
+			}
+			wantSum += int64(dd)
+		}
+	}
+	diam, err := g.Diameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diam != wantDiam {
+		t.Fatalf("Diameter = %d, want %d", diam, wantDiam)
+	}
+	avg, err := g.AvgPathLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(wantSum) / float64(g.N()*(g.N()-1))
+	if avg != want {
+		t.Fatalf("AvgPathLength = %v, want %v (must be bit-identical)", avg, want)
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := graph.NewBitset(3)
+	b.Set(1, 0)
+	b.Set(1, 63)
+	b.Set(2, 17)
+	for _, tc := range []struct {
+		i    int
+		lane uint
+		want bool
+	}{{1, 0, true}, {1, 63, true}, {2, 17, true}, {0, 0, false}, {1, 1, false}, {2, 16, false}} {
+		if got := b.Test(tc.i, tc.lane); got != tc.want {
+			t.Fatalf("Test(%d, %d) = %v, want %v", tc.i, tc.lane, got, tc.want)
+		}
+	}
+	b.Clear()
+	for i := range b {
+		if b[i] != 0 {
+			t.Fatalf("word %d not cleared: %x", i, b[i])
+		}
+	}
+}

@@ -166,13 +166,25 @@ func (g *Graph) PathsWithin(src, dst, slack, limit int) []Path {
 	if src == dst {
 		return nil
 	}
-	toDst := g.BFS(dst, nil)
-	if toDst[src] == Unreachable {
+	return g.PathsWithinDist(src, dst, g.BFS(dst, nil), slack, limit, nil)
+}
+
+// PathsWithinDist is PathsWithin with the BFS-from-dst distance row
+// precomputed by the caller — sweeps over many (src, dst) pairs batch the
+// rows through the MultiBFSRows kernel instead of re-running one scalar
+// BFS per pair. toDst must be exactly BFS(dst, ...) output; onPath is
+// optional scratch of length >= N with every element false (it is
+// restored to all-false before returning), letting repeated calls reuse
+// one marker row. The result is identical to PathsWithin.
+func (g *Graph) PathsWithinDist(src, dst int, toDst []int32, slack, limit int, onPath []bool) []Path {
+	if src == dst || toDst[src] == Unreachable {
 		return nil
 	}
 	maxLen := int(toDst[src]) + slack
 	var out []Path
-	onPath := make([]bool, g.n)
+	if len(onPath) < g.n {
+		onPath = make([]bool, g.n)
+	}
 	cur := make(Path, 0, maxLen+1)
 	var dfs func(u int32, length int) bool
 	dfs = func(u int32, length int) bool {

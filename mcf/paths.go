@@ -178,8 +178,33 @@ func poolSize(workers, jobs int) int {
 func WithinSlack(t *topo.Topology, m *traffic.Matrix, slack, limit int) *Paths {
 	g := t.Graph()
 	out := &Paths{ByDemand: make([][]graph.Path, len(m.Demands))}
+	// The DFS prunes on the BFS-from-dst distance row; demands share
+	// destinations, so batch the unique rows through the bit-parallel
+	// kernel once instead of one scalar BFS per demand.
+	dstIdx := make(map[int]int)
+	var dsts []int
+	for _, d := range m.Demands {
+		if d.Src == d.Dst {
+			continue
+		}
+		if _, ok := dstIdx[d.Dst]; !ok {
+			dstIdx[d.Dst] = len(dsts)
+			dsts = append(dsts, d.Dst)
+		}
+	}
+	rows := make([][]int32, len(dsts))
+	backing := make([]int32, len(dsts)*g.N())
+	g.MultiBFSRows(dsts, 0, func(i int, dist []int32) error {
+		rows[i] = backing[i*g.N() : (i+1)*g.N()]
+		copy(rows[i], dist)
+		return nil
+	})
+	onPath := make([]bool, g.N())
 	for i, d := range m.Demands {
-		out.ByDemand[i] = g.PathsWithin(d.Src, d.Dst, slack, limit)
+		if d.Src == d.Dst {
+			continue
+		}
+		out.ByDemand[i] = g.PathsWithinDist(d.Src, d.Dst, rows[dstIdx[d.Dst]], slack, limit, onPath)
 	}
 	return out
 }

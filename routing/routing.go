@@ -46,14 +46,24 @@ func ECMP(t *topo.Topology, m *traffic.Matrix) (*Result, error) {
 	}
 	loads := newLoadTracker(t.Graph())
 	byDst := demandsByDst(m)
-	for dst, dd := range byDst {
-		inject := make([]float64, t.NumSwitches())
-		for _, d := range dd {
+	dsts := make([]int, 0, len(byDst))
+	for dst := range byDst {
+		dsts = append(dsts, dst)
+	}
+	sort.Ints(dsts)
+	g := t.Graph()
+	inject := make([]float64, t.NumSwitches())
+	err := g.MultiBFSRows(dsts, 1, func(i int, dist []int32) error {
+		for j := range inject {
+			inject[j] = 0
+		}
+		for _, d := range byDst[dsts[i]] {
 			inject[d.Src] += d.Amount
 		}
-		if err := ecmpAccumulate(t.Graph(), dst, inject, loads); err != nil {
-			return nil, err
-		}
+		return ecmpAccumulateDist(g, dist, inject, loads)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return loads.result(), nil
 }
@@ -75,35 +85,45 @@ func VLB(t *topo.Topology, m *traffic.Matrix) (*Result, error) {
 	// equivalently, for each intermediate as ECMP destination, every
 	// source injects send[s]/k.
 	// Phase 2: intermediate relays recv[d]/k toward each destination d.
+	// Both phases batch their per-destination BFS through the
+	// bit-parallel kernel, accumulating in the original iteration order.
+	g := t.Graph()
 	inject := make([]float64, t.NumSwitches())
-	for _, mid := range hosts {
-		for i := range inject {
-			inject[i] = 0
+	err := g.MultiBFSRows(hosts, 1, func(i int, dist []int32) error {
+		mid := hosts[i]
+		for j := range inject {
+			inject[j] = 0
 		}
 		for u := 0; u < t.NumSwitches(); u++ {
 			if send[u] > 0 && u != mid {
 				inject[u] = send[u] / k
 			}
 		}
-		if err := ecmpAccumulate(t.Graph(), mid, inject, loads); err != nil {
-			return nil, err
+		return ecmpAccumulateDist(g, dist, inject, loads)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var dsts []int
+	for dst := 0; dst < t.NumSwitches(); dst++ {
+		if recv[dst] > 0 {
+			dsts = append(dsts, dst)
 		}
 	}
-	for dst := 0; dst < t.NumSwitches(); dst++ {
-		if recv[dst] == 0 {
-			continue
-		}
-		for i := range inject {
-			inject[i] = 0
+	err = g.MultiBFSRows(dsts, 1, func(i int, dist []int32) error {
+		dst := dsts[i]
+		for j := range inject {
+			inject[j] = 0
 		}
 		for _, mid := range hosts {
 			if mid != dst {
 				inject[mid] += recv[dst] / k
 			}
 		}
-		if err := ecmpAccumulate(t.Graph(), dst, inject, loads); err != nil {
-			return nil, err
-		}
+		return ecmpAccumulateDist(g, dist, inject, loads)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return loads.result(), nil
 }
@@ -136,11 +156,11 @@ func (lt *loadTracker) result() *Result {
 	return &Result{Theta: 1 / maxLoad, MaxLoad: maxLoad}
 }
 
-// ecmpAccumulate forwards inject[u] units from every switch u toward dst
-// along the shortest-path DAG, splitting at each switch proportionally to
-// next-hop link multiplicity, and adds the resulting flow to loads.
-func ecmpAccumulate(g *graph.Graph, dst int, inject []float64, loads *loadTracker) error {
-	dist := g.BFS(dst, nil)
+// ecmpAccumulateDist forwards inject[u] units from every switch u toward
+// the destination whose BFS distance row is dist, splitting at each switch
+// proportionally to next-hop link multiplicity, and adds the resulting
+// flow to loads.
+func ecmpAccumulateDist(g *graph.Graph, dist []int32, inject []float64, loads *loadTracker) error {
 	// Process switches farthest-first so all transit traffic has arrived
 	// before a switch forwards.
 	order := make([]int32, 0, g.N())

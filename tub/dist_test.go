@@ -1,0 +1,164 @@
+// Regression and equivalence coverage for the HostDistances kernel swap:
+// the bit-parallel sweep must reproduce the scalar baseline bit for bit
+// (and so must Bound, whose only non-trivial input is the distance
+// matrix), at both sides of the kernel crossover and for any worker
+// count; distance 255 — the full uint8 range — must be accepted.
+package tub
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"dctopo/internal/graph"
+	"dctopo/topo"
+)
+
+// pathTopology builds an n-switch path with one server per switch: the
+// diameter is n-1 hops.
+func pathTopology(t *testing.T, n int) *topo.Topology {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	servers := make([]int, n)
+	for i := range servers {
+		servers[i] = 1
+	}
+	tp, err := topo.New("path", b.Build(), servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func sameDist(a, b [][]uint8) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestHostDistancesMatchesScalar pins the bit-parallel kernel against the
+// retained scalar baseline on generated topologies, for worker counts 1
+// and GOMAXPROCS.
+func TestHostDistancesMatchesScalar(t *testing.T) {
+	jf, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 100, Radix: 10, Servers: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := topo.Clos(topo.ClosConfig{Radix: 6, Layers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range []*topo.Topology{jf, cl} {
+		want, err := HostDistancesScalar(tp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			got, err := HostDistancesWorkers(tp, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameDist(got, want) {
+				t.Fatalf("%s workers=%d: kernel distances differ from scalar baseline", tp.Name(), workers)
+			}
+		}
+	}
+}
+
+// TestBoundBitIdenticalAcrossKernels checks that Bound is bit-identical
+// at both sides of the kernel crossover (host counts ScalarCrossover-1
+// and well above) for Workers ∈ {1, GOMAXPROCS}.
+func TestBoundBitIdenticalAcrossKernels(t *testing.T) {
+	for _, n := range []int{graph.ScalarCrossover - 1, 60} {
+		tp, err := topo.Jellyfish(topo.JellyfishConfig{Switches: n, Radix: 6, Servers: 2, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bounds []float64
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			r, err := Bound(tp, Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bounds = append(bounds, r.Bound)
+		}
+		for _, b := range bounds[1:] {
+			if b != bounds[0] {
+				t.Fatalf("n=%d: Bound differs across worker counts: %v", n, bounds)
+			}
+		}
+	}
+}
+
+// TestHostDistances255 is the satellite regression: a 256-switch path has
+// host diameter 255, exactly the top of the uint8 range, and must be
+// accepted (the old check rejected d > 254); one more switch must fail
+// with the overflow error, not wrap.
+func TestHostDistances255(t *testing.T) {
+	d, err := HostDistances(pathTopology(t, 256))
+	if err != nil {
+		t.Fatalf("diameter-255 path rejected: %v", err)
+	}
+	if d[0][255] != 255 {
+		t.Fatalf("d[0][255] = %d, want 255", d[0][255])
+	}
+	if _, err := HostDistances(pathTopology(t, 257)); err == nil || !strings.Contains(err.Error(), "exceeds uint8 range") {
+		t.Fatalf("diameter-256 path: err = %v, want uint8 range error", err)
+	}
+	// The scalar baseline must agree on both boundaries.
+	if _, err := HostDistancesScalar(pathTopology(t, 256), 0); err != nil {
+		t.Fatalf("scalar baseline rejects diameter 255: %v", err)
+	}
+	if _, err := HostDistancesScalar(pathTopology(t, 257), 0); err == nil {
+		t.Fatal("scalar baseline accepts diameter 256")
+	}
+}
+
+// TestFillHostRow unit-tests the row-fill helper directly: transit
+// switches are skipped, 255 fits, 256 overflows, unreachable hosts are a
+// disconnection error.
+func TestFillHostRow(t *testing.T) {
+	pos := []int32{0, -1, 1} // switch 1 is transit
+	row := make([]uint8, 2)
+	if err := fillHostRow(row, []int32{0, 7, 255}, pos); err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != 0 || row[1] != 255 {
+		t.Fatalf("row = %v, want [0 255]", row)
+	}
+	if err := fillHostRow(row, []int32{0, 7, 256}, pos); err == nil || !strings.Contains(err.Error(), "exceeds uint8 range") {
+		t.Fatalf("d=256: err = %v, want overflow", err)
+	}
+	// Unreachable transit switch is fine; unreachable host is not.
+	if err := fillHostRow(row, []int32{0, graph.Unreachable, 2}, pos); err != nil {
+		t.Fatalf("unreachable transit switch: %v", err)
+	}
+	if err := fillHostRow(row, []int32{0, 7, graph.Unreachable}, pos); err == nil || !strings.Contains(err.Error(), "disconnected") {
+		t.Fatalf("unreachable host: err = %v, want disconnected", err)
+	}
+}
+
+// TestDistKernelAttr pins the trace-attribute helper to the kernel
+// selection rule.
+func TestDistKernelAttr(t *testing.T) {
+	if got := distKernel(graph.ScalarCrossover - 1); got != "scalar" {
+		t.Fatalf("distKernel below crossover = %q", got)
+	}
+	if got := distKernel(graph.ScalarCrossover); got != "bitparallel" {
+		t.Fatalf("distKernel at crossover = %q", got)
+	}
+}

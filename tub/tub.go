@@ -28,6 +28,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dctopo/internal/graph"
 	"dctopo/internal/match"
 	"dctopo/obs"
 	"dctopo/topo"
@@ -87,6 +88,9 @@ func (m Matcher) String() string {
 // garbage Options never silently falls through to the wrong matcher.
 type Options struct {
 	Matcher Matcher
+	// Workers bounds the distance-sweep worker pool; <= 0 means
+	// GOMAXPROCS. The bound is identical for any worker count.
+	Workers int
 	// Obs, when non-nil, records a "tub.bound" span with "tub.dist" and
 	// "tub.match" children; the match span's attributes name the matcher
 	// actually selected (after Auto resolution) so matcher crossovers are
@@ -127,8 +131,8 @@ func Bound(t *topo.Topology, opt Options) (*Result, error) {
 	to, sp := opt.Obs.Start("tub.bound", obs.Int("hosts", n))
 	var bnd float64
 	defer func() { sp.End(obs.Float("bound", bnd)) }()
-	_, dsp := to.Start("tub.dist")
-	dist, err := HostDistances(t)
+	_, dsp := to.Start("tub.dist", obs.String("kernel", distKernel(n)))
+	dist, err := HostDistancesWorkers(t, opt.Workers)
 	dsp.End()
 	if err != nil {
 		return nil, err
@@ -188,31 +192,61 @@ func Bound(t *topo.Topology, opt Options) (*Result, error) {
 // HostDistances returns the pairwise hop distances between host switches,
 // indexed by position in Topology.Hosts(). Distances are measured on the
 // full switch graph (transit-only switches shorten paths but never appear
-// as endpoints). The per-source BFS runs on up to GOMAXPROCS goroutines —
-// this is the dominant cost of Bound at large scale.
+// as endpoints). The traversals run on the bit-parallel multi-source BFS
+// kernel (64 sources per machine word, batches sharded across GOMAXPROCS
+// workers) — this is the dominant cost of Bound at large scale. Host sets
+// below graph.ScalarCrossover use one scalar BFS per host instead; both
+// kernels produce identical matrices.
 func HostDistances(t *topo.Topology) ([][]uint8, error) {
+	return HostDistancesWorkers(t, 0)
+}
+
+// HostDistancesWorkers is HostDistances with an explicit worker count
+// (<= 0 means GOMAXPROCS). The result is identical for any worker count.
+func HostDistancesWorkers(t *topo.Topology, workers int) ([][]uint8, error) {
 	g := t.Graph()
 	hosts := t.Hosts()
 	n := len(hosts)
-	pos := make([]int32, g.N())
-	for i := range pos {
-		pos[i] = -1
+	pos := hostPositions(g.N(), hosts)
+	out := make([][]uint8, n)
+	backing := make([]uint8, n*n)
+	for i := range out {
+		out[i] = backing[i*n : (i+1)*n]
 	}
-	for i, u := range hosts {
-		pos[u] = int32(i)
+	err := g.MultiBFSRows(hosts, workers, func(i int, dist []int32) error {
+		return fillHostRow(out[i], dist, pos)
+	})
+	if err != nil {
+		return nil, err
 	}
+	return out, nil
+}
+
+// HostDistancesScalar is the pre-kernel reference implementation: one
+// scalar BFS per host switch on a goroutine pool. It is retained as the
+// equivalence baseline for tests and the before/after benchmarks
+// (BenchmarkHostDistances, topobench bench); new code should call
+// HostDistances.
+func HostDistancesScalar(t *topo.Topology, workers int) ([][]uint8, error) {
+	g := t.Graph()
+	hosts := t.Hosts()
+	n := len(hosts)
+	pos := hostPositions(g.N(), hosts)
 	out := make([][]uint8, n)
 	backing := make([]uint8, n*n)
 	for i := range out {
 		out[i] = backing[i*n : (i+1)*n]
 	}
 
-	workers := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}
 	var wg sync.WaitGroup
-	var bad atomic.Int32 // 0 ok, 1 disconnected, 2 overflow
+	var failed atomic.Bool
+	errs := make([]error, n)
 	next := atomic.Int64{}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -221,37 +255,68 @@ func HostDistances(t *topo.Topology) ([][]uint8, error) {
 			dist := make([]int32, g.N())
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || bad.Load() != 0 {
+				if i >= n || failed.Load() {
 					return
 				}
 				dist = g.BFS(hosts[i], dist)
-				row := out[i]
-				for v, d := range dist {
-					j := pos[v]
-					if j < 0 {
-						continue
-					}
-					if d < 0 {
-						bad.Store(1)
-						return
-					}
-					if d > 254 {
-						bad.Store(2)
-						return
-					}
-					row[j] = uint8(d)
+				if err := fillHostRow(out[i], dist, pos); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	switch bad.Load() {
-	case 1:
-		return nil, errors.New("tub: topology disconnected")
-	case 2:
-		return nil, fmt.Errorf("tub: distance exceeds uint8 range")
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
+}
+
+// distKernel names the BFS kernel HostDistances will select for a host
+// count, for trace attributes.
+func distKernel(hosts int) string {
+	if hosts >= graph.ScalarCrossover {
+		return "bitparallel"
+	}
+	return "scalar"
+}
+
+// hostPositions inverts a host list into a switch-id → host-index map
+// (-1 for transit switches).
+func hostPositions(numSwitches int, hosts []int) []int32 {
+	pos := make([]int32, numSwitches)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, u := range hosts {
+		pos[u] = int32(i)
+	}
+	return pos
+}
+
+// fillHostRow compacts one full-graph BFS distance row onto host
+// positions. An unreachable host is a disconnection error; distances
+// must fit uint8 — 255 is the largest representable hop count and is
+// accepted.
+func fillHostRow(row []uint8, dist []int32, pos []int32) error {
+	for v, d := range dist {
+		j := pos[v]
+		if j < 0 {
+			continue
+		}
+		if d < 0 {
+			return errors.New("tub: topology disconnected")
+		}
+		if d > 255 {
+			return fmt.Errorf("tub: distance %d exceeds uint8 range", d)
+		}
+		row[j] = uint8(d)
+	}
+	return nil
 }
 
 // Matrix converts the maximal permutation into a saturated switch-level
