@@ -13,6 +13,7 @@ import (
 
 	"dctopo/estimators"
 	"dctopo/expt"
+	"dctopo/internal/graph"
 	"dctopo/internal/match"
 	"dctopo/mcf"
 	"dctopo/obs"
@@ -453,5 +454,40 @@ func BenchmarkHostDistances(b *testing.B) {
 	})
 	b.Run("kernel=scalar", func(b *testing.B) {
 		run(b, func() ([][]uint8, error) { return tub.HostDistancesScalar(t, 0) })
+	})
+}
+
+// BenchmarkKShortest is this PR's acceptance benchmark: the goal-directed
+// allocation-free Yen kernel vs the retained simple baseline on a
+// 1024-switch Jellyfish at k=8, equal GOMAXPROCS. The goal kernel must
+// win by >= 3x, with -benchmem showing only the output paths allocated;
+// the CI bench job records both in BENCH_ksp.json. paths/s is result
+// paths produced per second of wall time.
+func BenchmarkKShortest(b *testing.B) {
+	t := benchTopology(b, 1024, 16, 4)
+	g := t.Graph()
+	n := g.N()
+	const k, nPairs = 8, 32
+	run := func(b *testing.B, f func(src, dst int) []graph.Path) {
+		b.Helper()
+		b.ReportAllocs()
+		paths := 0
+		for i := 0; i < b.N; i++ {
+			paths = 0
+			for p := 0; p < nPairs; p++ {
+				got := f(p, (p+n/2)%n)
+				if len(got) != k {
+					b.Fatalf("pair %d: %d paths, want %d", p, len(got), k)
+				}
+				paths += len(got)
+			}
+		}
+		b.ReportMetric(float64(paths)*float64(b.N)/b.Elapsed().Seconds(), "paths/s")
+	}
+	b.Run("kernel=goal", func(b *testing.B) {
+		run(b, func(src, dst int) []graph.Path { return g.KShortestPaths(src, dst, k) })
+	})
+	b.Run("kernel=simple", func(b *testing.B) {
+		run(b, func(src, dst int) []graph.Path { return g.KShortestPathsSimple(src, dst, k) })
 	})
 }

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"testing"
 
+	"dctopo/internal/graph"
+
 	"dctopo/topo"
 	"dctopo/tub"
 )
@@ -37,19 +39,55 @@ type benchReport struct {
 	Speedup map[string]float64 `json:"speedup"`
 }
 
-// cmdBench runs the distance-kernel benchmarks (bit-parallel multi-source
-// BFS vs the scalar baseline) on Jellyfish instances and writes the
-// machine-readable BENCH_msbfs.json consumed by the CI perf-tracking
-// artifact.
+// kspBenchEntry is one benchmark record of BENCH_ksp.json: a Yen-kernel
+// run over a fixed pair sweep on one Jellyfish instance.
+type kspBenchEntry struct {
+	Name        string  `json:"name"`
+	Switches    int     `json:"switches"`
+	K           int     `json:"k"`
+	Pairs       int     `json:"pairs"`
+	Kernel      string  `json:"kernel"`
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  int64   `json:"b_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	PathsPerSec float64 `json:"paths_per_sec"`
+}
+
+// kspBenchReport is the BENCH_ksp.json document.
+type kspBenchReport struct {
+	Benchmark  string          `json:"benchmark"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Entries    []kspBenchEntry `json:"entries"`
+	// Speedup maps "switches=N" to goal/simple wall-clock ratio.
+	Speedup map[string]float64 `json:"speedup"`
+}
+
+// cmdBench runs the kernel benchmarks and writes the machine-readable
+// JSON consumed by the CI perf-tracking artifacts: the "msbfs" case
+// (bit-parallel multi-source BFS vs the scalar baseline, BENCH_msbfs.json)
+// and the "ksp" case (goal-directed Yen kernel vs the simple baseline,
+// BENCH_ksp.json).
 func cmdBench(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	sizes := fs.String("sizes", "1024,2048,4096", "comma-separated Jellyfish switch counts")
+	cases := fs.String("cases", "msbfs,ksp", "comma-separated benchmark cases to run (msbfs, ksp)")
+	sizes := fs.String("sizes", "1024,2048,4096", "comma-separated Jellyfish switch counts (msbfs case)")
 	radix := fs.Int("radix", 16, "switch radix")
 	servers := fs.Int("servers", 4, "servers per switch")
-	out := fs.String("o", "BENCH_msbfs.json", "output JSON path (- for stdout)")
+	out := fs.String("o", "BENCH_msbfs.json", "msbfs output JSON path (- for stdout)")
+	kspOut := fs.String("ksp-o", "BENCH_ksp.json", "ksp output JSON path (- for stdout)")
+	kspSwitches := fs.Int("ksp-switches", 1024, "Jellyfish switch count for the ksp case")
+	kspK := fs.Int("ksp-k", 8, "paths per pair for the ksp case")
+	kspPairs := fs.Int("ksp-pairs", 64, "pairs measured per op in the ksp case")
 	var rf runFlags
 	rf.register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkPositive(
+		intFlag{"radix", *radix}, intFlag{"servers", *servers},
+		intFlag{"ksp-switches", *kspSwitches}, intFlag{"ksp-k", *kspK},
+		intFlag{"ksp-pairs", *kspPairs},
+	); err != nil {
 		return err
 	}
 	_, done, err := rf.observe()
@@ -62,18 +100,37 @@ func cmdBench(w io.Writer, args []string) error {
 		return err
 	}
 	defer stop()
+	for _, c := range strings.Split(*cases, ",") {
+		switch strings.TrimSpace(c) {
+		case "msbfs":
+			err = benchMSBFS(w, *sizes, *radix, *servers, *out)
+		case "ksp":
+			err = benchKSP(w, *kspSwitches, *radix, *servers, *kspK, *kspPairs, *kspOut)
+		case "":
+		default:
+			err = fmt.Errorf("unknown bench case %q (want msbfs or ksp)", c)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
+// benchMSBFS measures HostDistances (bit-parallel vs scalar) on Jellyfish
+// instances and writes the BENCH_msbfs.json document.
+func benchMSBFS(w io.Writer, sizes string, radix, servers int, out string) error {
 	rep := benchReport{
 		Benchmark:  "HostDistances/jellyfish",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Speedup:    map[string]float64{},
 	}
-	for _, tok := range strings.Split(*sizes, ",") {
+	for _, tok := range strings.Split(sizes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(tok))
 		if err != nil {
 			return fmt.Errorf("bad -sizes entry %q: %v", tok, err)
 		}
-		t, err := topo.Jellyfish(topo.JellyfishConfig{Switches: n, Radix: *radix, Servers: *servers, Seed: 1})
+		t, err := topo.Jellyfish(topo.JellyfishConfig{Switches: n, Radix: radix, Servers: servers, Seed: 1})
 		if err != nil {
 			return err
 		}
@@ -122,13 +179,84 @@ func cmdBench(w io.Writer, args []string) error {
 		return err
 	}
 	enc = append(enc, '\n')
-	if *out == "-" {
+	if out == "-" {
 		_, err = w.Write(enc)
 		return err
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "wrote %s (%d entries)\n", *out, len(rep.Entries))
+	fmt.Fprintf(w, "wrote %s (%d entries)\n", out, len(rep.Entries))
+	return nil
+}
+
+// benchKSP measures the Yen kernels (goal-directed vs simple baseline)
+// over a fixed antipodal pair sweep on one Jellyfish instance and writes
+// the BENCH_ksp.json document. Throughput is paths per second.
+func benchKSP(w io.Writer, switches, radix, servers, k, pairs int, out string) error {
+	t, err := topo.Jellyfish(topo.JellyfishConfig{Switches: switches, Radix: radix, Servers: servers, Seed: 1})
+	if err != nil {
+		return err
+	}
+	g := t.Graph()
+	n := g.N()
+	if pairs > n/2 {
+		pairs = n / 2
+	}
+	rep := kspBenchReport{
+		Benchmark:  "KShortestPaths/jellyfish",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Speedup:    map[string]float64{},
+	}
+	var perKernel [2]float64
+	for ki, kr := range []struct {
+		name string
+		run  func(src, dst int) []graph.Path
+	}{
+		{"goal", func(src, dst int) []graph.Path { return g.KShortestPaths(src, dst, k) }},
+		{"simple", func(src, dst int) []graph.Path { return g.KShortestPathsSimple(src, dst, k) }},
+	} {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			paths := 0
+			for i := 0; i < b.N; i++ {
+				paths = 0
+				for p := 0; p < pairs; p++ {
+					paths += len(kr.run(p, (p+n/2)%n))
+				}
+			}
+			b.ReportMetric(float64(paths)*float64(b.N)/b.Elapsed().Seconds(), "paths/s")
+		})
+		nsOp := float64(r.NsPerOp())
+		perKernel[ki] = nsOp
+		rep.Entries = append(rep.Entries, kspBenchEntry{
+			Name:        fmt.Sprintf("BenchmarkKShortest/switches=%d/kernel=%s", switches, kr.name),
+			Switches:    switches,
+			K:           k,
+			Pairs:       pairs,
+			Kernel:      kr.name,
+			NsPerOp:     nsOp,
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			PathsPerSec: r.Extra["paths/s"],
+		})
+		fmt.Fprintf(os.Stderr, "ksp switches=%d kernel=%s: %.2f ms/op, %.0f paths/s\n",
+			switches, kr.name, nsOp/1e6, r.Extra["paths/s"])
+	}
+	rep.Speedup[fmt.Sprintf("switches=%d", switches)] = perKernel[1] / perKernel[0]
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		_, err = w.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (%d entries)\n", out, len(rep.Entries))
 	return nil
 }

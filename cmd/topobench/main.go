@@ -154,6 +154,33 @@ func (tf *topoFlags) register(fs *flag.FlagSet) {
 	fs.Uint64Var(&tf.seed, "seed", 1, "RNG seed")
 }
 
+// intFlag pairs a flag name with its parsed value for validation.
+type intFlag struct {
+	name  string
+	value int
+}
+
+// checkPositive rejects non-positive values on flags that require a
+// positive integer, failing fast with the flag name instead of producing
+// empty path sets or degenerate topologies that only break deep inside
+// the solvers.
+func checkPositive(flags ...intFlag) error {
+	for _, f := range flags {
+		if f.value <= 0 {
+			return fmt.Errorf("-%s must be a positive integer (got %d)", f.name, f.value)
+		}
+	}
+	return nil
+}
+
+func (tf *topoFlags) validate() error {
+	return checkPositive(
+		intFlag{"switches", tf.switches},
+		intFlag{"radix", tf.radix},
+		intFlag{"servers", tf.servers},
+	)
+}
+
 // runFlags registers the shared execution flags: the worker-pool size
 // for the parallel stages, pprof profiles, and the observability sinks
 // (-v, -progress, -trace, -metrics).
@@ -262,6 +289,9 @@ func (rf *runFlags) observe(extra ...obs.Sink) (*obs.Obs, func(), error) {
 }
 
 func (tf *topoFlags) build(o *obs.Obs) (*topo.Topology, error) {
+	if err := tf.validate(); err != nil {
+		return nil, err
+	}
 	switch tf.family {
 	case "jellyfish", "xpander", "fatclique":
 		return expt.BuildObs(expt.Family(tf.family), tf.switches, tf.radix, tf.servers, tf.seed, o)
@@ -387,6 +417,9 @@ func cmdMetrics(w io.Writer, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := checkPositive(intFlag{"k", *k}); err != nil {
+		return err
+	}
 	o, done, err := rf.observe()
 	if err != nil {
 		return err
@@ -464,6 +497,12 @@ func cmdMCF(w io.Writer, args []string) error {
 	eps := fs.Float64("eps", 0.02, "Garg–Könemann ε")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if err := checkPositive(intFlag{"k", *k}); err != nil {
+		return err
+	}
+	if *eps <= 0 || *eps >= 1 {
+		return fmt.Errorf("-eps must be in (0, 1) (got %g)", *eps)
 	}
 	o, done, err := rf.observe()
 	if err != nil {
@@ -703,6 +742,9 @@ func cmdDesign(w io.Writer, args []string) error {
 	floor := fs.Float64("floor", 1.0, "required worst-case throughput (1 = full throughput)")
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkPositive(intFlag{"servers", *servers}, intFlag{"radix", *radix}); err != nil {
 		return err
 	}
 	_, done, err := rf.observe()

@@ -63,10 +63,51 @@ func (g *Graph) shortestPathMasked(src, dst int, nodeMasked []bool, edgeMasked m
 	return rev
 }
 
-// ShortestPath returns one shortest path from src to dst, or nil if
-// unreachable.
+// ShortestPath returns the lexicographically smallest shortest path from
+// src to dst, or nil if unreachable. The search runs on a pooled
+// epoch-stamped arena, so the only allocation is the returned path.
 func (g *Graph) ShortestPath(src, dst int) Path {
-	return g.shortestPathMasked(src, dst, make([]bool, g.n), nil)
+	if src == dst {
+		return Path{int32(src)}
+	}
+	s := getKSPScratch(g.n)
+	defer putKSPScratch(s)
+	ep := s.nextEpoch()
+	queue := s.queue[:0]
+	queue = append(queue, int32(src))
+	s.visited[src] = ep
+	found := false
+	for head := 0; head < len(queue) && !found; head++ {
+		u := queue[head]
+		for e := g.off[u]; e < g.off[u+1]; e++ {
+			v := g.adj[e]
+			if s.visited[v] == ep {
+				continue
+			}
+			s.visited[v] = ep
+			s.prev[v] = u
+			if int(v) == dst {
+				found = true
+				break
+			}
+			queue = append(queue, v)
+		}
+	}
+	s.queue = queue[:0]
+	if !found {
+		return nil
+	}
+	n := 1
+	for v := int32(dst); v != int32(src); v = s.prev[v] {
+		n++
+	}
+	p := make(Path, n)
+	p[0] = int32(src)
+	for v := int32(dst); v != int32(src); v = s.prev[v] {
+		n--
+		p[n] = v
+	}
+	return p
 }
 
 type candHeap []Path
@@ -96,10 +137,12 @@ func pathLess(a, b Path) bool {
 	return false
 }
 
-// KShortestPaths returns up to k loopless shortest paths from src to dst in
-// non-decreasing hop length (Yen's algorithm). It returns fewer than k
-// paths when the graph does not contain that many simple paths.
-func (g *Graph) KShortestPaths(src, dst, k int) []Path {
+// KShortestPathsSimple is the straightforward Yen implementation: masked
+// BFS per spur search, a seen-map for duplicate suppression, allocating
+// masks and keys per spur. It is retained verbatim as the differential
+// baseline for the goal-directed kernel (KShortestPaths in ksp.go), whose
+// output must be bit-identical.
+func (g *Graph) KShortestPathsSimple(src, dst, k int) []Path {
 	if src == dst || k <= 0 {
 		return nil
 	}

@@ -1,0 +1,111 @@
+package mcf
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"dctopo/internal/graph"
+	"dctopo/obs"
+	"dctopo/topo"
+	"dctopo/traffic"
+)
+
+// simpleKShortest is the per-pair reference pipeline: one
+// KShortestPathsSimple call per demand direction, no batching, no shared
+// state. The batched goal-directed pipeline must reproduce it bit for bit.
+func simpleKShortest(t *topo.Topology, m *traffic.Matrix, k int) *Paths {
+	g := t.Graph()
+	out := &Paths{ByDemand: make([][]graph.Path, len(m.Demands))}
+	for i, d := range m.Demands {
+		if d.Src == d.Dst {
+			continue
+		}
+		a, b := d.Src, d.Dst
+		if a > b {
+			a, b = b, a
+		}
+		ps := g.KShortestPathsSimple(a, b, k)
+		if d.Src < d.Dst {
+			out.ByDemand[i] = ps
+			continue
+		}
+		rev := make([]graph.Path, len(ps))
+		for j, p := range ps {
+			rp := make(graph.Path, len(p))
+			for x := range p {
+				rp[len(p)-1-x] = p[x]
+			}
+			rev[j] = rp
+		}
+		out.ByDemand[i] = rev
+	}
+	return out
+}
+
+// TestKShortestDifferentialTopologies pins the batched goal-directed
+// pipeline against the simple per-pair reference across topology
+// families, k values, and worker counts.
+func TestKShortestDifferentialTopologies(t *testing.T) {
+	tops := map[string]*topo.Topology{}
+	jf, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 28, Radix: 8, Servers: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tops["jellyfish"] = jf
+	xp, err := topo.Xpander(topo.XpanderConfig{Switches: 28, Radix: 8, Servers: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tops["xpander"] = xp
+	cl, err := topo.Clos(topo.ClosConfig{Radix: 8, Layers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tops["clos"] = cl
+
+	maxProcs := runtime.GOMAXPROCS(0)
+	for name, top := range tops {
+		tm := traffic.RandomPermutation(top, 11)
+		for _, k := range []int{1, 2, 8, 64} {
+			want := simpleKShortest(top, tm, k)
+			for _, w := range []int{1, maxProcs} {
+				t.Run(fmt.Sprintf("%s/k=%d/workers=%d", name, k, w), func(t *testing.T) {
+					got := KShortestWorkers(top, tm, k, w)
+					if !pathsEqual(got, want) {
+						t.Fatalf("batched pipeline differs from simple reference")
+					}
+					if err := got.Validate(top, tm); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestKShortestObsKernelCounters: the goal-directed kernel counters must
+// be emitted and be identical for any worker count.
+func TestKShortestObsKernelCounters(t *testing.T) {
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 30, Radix: 8, Servers: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := traffic.RandomPermutation(top, 4)
+	read := func(workers int) (pruned, pops int64) {
+		o := obs.New()
+		KShortestObs(top, tm, 8, workers, o)
+		return o.Counter("mcf.ksp.pruned").Value(), o.Counter("mcf.ksp.pops").Value()
+	}
+	wantPruned, wantPops := read(1)
+	if wantPops == 0 {
+		t.Fatal("expected mcf.ksp.pops > 0 at k=8")
+	}
+	for _, w := range workerCounts() {
+		pruned, pops := read(w)
+		if pruned != wantPruned || pops != wantPops {
+			t.Fatalf("workers=%d counters (pruned=%d pops=%d) != workers=1 (pruned=%d pops=%d)",
+				w, pruned, pops, wantPruned, wantPops)
+		}
+	}
+}

@@ -73,7 +73,19 @@ func KShortestWorkers(t *topo.Topology, m *traffic.Matrix, k, workers int) *Path
 // KShortestObs is KShortestWorkers with instrumentation: when o is
 // non-nil it wraps the computation in an "mcf.ksp" span and bumps the
 // "mcf.ksp.pairs" / "mcf.ksp.paths" counters (unique Yen invocations and
-// total paths produced). The result is identical with or without o.
+// total paths produced) plus the kernel counters "mcf.ksp.pruned"
+// (spur-search expansions cut by the goal-directed bound) and
+// "mcf.ksp.pops" (candidate-heap pops). The result is identical with or
+// without o.
+//
+// The sweep batches shared state across the unique pairs: one forward
+// shortest-path tree per unique source (each pair's first Yen path is
+// extracted from its source's tree instead of re-running a BFS per
+// pair), one reverse distance row per unique destination (batched
+// through the bit-parallel MultiBFSRows kernel; the rows drive the
+// goal-directed spur searches), and one scratch arena per worker. Pairs
+// are sharded across workers a source group at a time; counter totals
+// depend only on (t, m, k), never on the schedule.
 func KShortestObs(t *topo.Topology, m *traffic.Matrix, k, workers int, o *obs.Obs) *Paths {
 	_, sp := o.Start("mcf.ksp", obs.Int("k", k), obs.Int("demands", len(m.Demands)))
 	g := t.Graph()
@@ -97,23 +109,62 @@ func KShortestObs(t *topo.Topology, m *traffic.Matrix, k, workers int, o *obs.Ob
 			pairs = append(pairs, key)
 		}
 	}
+	// Group pairs by canonical source: one shortest-path tree per group.
+	srcIdx := make(map[int]int)
+	var srcs []int
+	var groups [][]int32
+	// One reverse row per unique destination, shared by every pair
+	// targeting it.
+	dstIdx := make(map[int]int)
+	var dsts []int
+	for i, pr := range pairs {
+		gi, ok := srcIdx[pr[0]]
+		if !ok {
+			gi = len(srcs)
+			srcIdx[pr[0]] = gi
+			srcs = append(srcs, pr[0])
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], int32(i))
+		if _, ok := dstIdx[pr[1]]; !ok {
+			dstIdx[pr[1]] = len(dsts)
+			dsts = append(dsts, pr[1])
+		}
+	}
+	rows := make([][]int32, len(dsts))
+	backing := make([]int32, len(dsts)*g.N())
+	g.MultiBFSRows(dsts, workers, func(i int, dist []int32) error {
+		rows[i] = backing[i*g.N() : (i+1)*g.N()]
+		copy(rows[i], dist)
+		return nil
+	})
 	fw := make([][]graph.Path, len(pairs)) // paths pair[0] -> pair[1]
 	rv := make([][]graph.Path, len(pairs)) // the same paths reversed
-	run := func(i int) {
-		ps := g.KShortestPaths(pairs[i][0], pairs[i][1], k)
-		rev := make([]graph.Path, len(ps))
-		for j, p := range ps {
-			rp := make(graph.Path, len(p))
-			for x := range p {
-				rp[len(p)-1-x] = p[x]
+	var stats graph.KSPStats
+	var statsMu sync.Mutex
+	runGroup := func(gi int, s *graph.KSPScratch, dist, prev *[]int32, st *graph.KSPStats) {
+		src := srcs[gi]
+		*dist, *prev = g.ShortestPathTree(src, *dist, *prev)
+		for _, pi := range groups[gi] {
+			dst := pairs[pi][1]
+			ps := g.KShortestPathsDist(src, dst, k,
+				rows[dstIdx[dst]], graph.PathFromTree(*prev, dst), s, st)
+			rev := make([]graph.Path, len(ps))
+			for j, p := range ps {
+				rp := make(graph.Path, len(p))
+				for x := range p {
+					rp[len(p)-1-x] = p[x]
+				}
+				rev[j] = rp
 			}
-			rev[j] = rp
+			fw[pi], rv[pi] = ps, rev
 		}
-		fw[i], rv[i] = ps, rev
 	}
-	if w := poolSize(workers, len(pairs)); w <= 1 {
-		for i := range pairs {
-			run(i)
+	if w := poolSize(workers, len(groups)); w <= 1 {
+		s := graph.NewKSPScratch()
+		var dist, prev []int32
+		for gi := range groups {
+			runGroup(gi, s, &dist, &prev, &stats)
 		}
 	} else {
 		var next atomic.Int64
@@ -122,13 +173,19 @@ func KShortestObs(t *topo.Topology, m *traffic.Matrix, k, workers int, o *obs.Ob
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				s := graph.NewKSPScratch()
+				var dist, prev []int32
+				var st graph.KSPStats
 				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(pairs) {
-						return
+					gi := int(next.Add(1)) - 1
+					if gi >= len(groups) {
+						break
 					}
-					run(i)
+					runGroup(gi, s, &dist, &prev, &st)
 				}
+				statsMu.Lock()
+				stats.Add(st)
+				statsMu.Unlock()
 			}()
 		}
 		wg.Wait()
@@ -151,7 +208,10 @@ func KShortestObs(t *topo.Topology, m *traffic.Matrix, k, workers int, o *obs.Ob
 		}
 		o.Counter("mcf.ksp.pairs").Add(int64(len(pairs)))
 		o.Counter("mcf.ksp.paths").Add(int64(yielded))
-		sp.End(obs.Int("pairs", len(pairs)), obs.Int("paths", yielded))
+		o.Counter("mcf.ksp.pruned").Add(stats.Pruned)
+		o.Counter("mcf.ksp.pops").Add(stats.Pops)
+		sp.End(obs.Int("pairs", len(pairs)), obs.Int("paths", yielded),
+			obs.Int("pruned", int(stats.Pruned)), obs.Int("pops", int(stats.Pops)))
 	}
 	return out
 }
