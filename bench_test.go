@@ -39,7 +39,7 @@ func BenchmarkFig3ThroughputGap(b *testing.B) {
 		Switches: []int{24, 54}, K: 8, Seed: 1,
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.RunFig3(p); err != nil {
+		if _, err := expt.RunFig3(p, expt.RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -48,7 +48,7 @@ func BenchmarkFig3ThroughputGap(b *testing.B) {
 func BenchmarkFig4PathDiversity(b *testing.B) {
 	p := expt.Fig4Params{Radix: 10, Servers: 4, Switches: []int{24, 54}, K: 8, Seed: 1}
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.RunFig4(p); err != nil {
+		if _, err := expt.RunFig4(p, expt.RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -57,7 +57,7 @@ func BenchmarkFig4PathDiversity(b *testing.B) {
 func BenchmarkFig5EstimatorComparison(b *testing.B) {
 	p := expt.Fig5Params{Radix: 10, Servers: 4, Switches: []int{24, 54}, K: 8, Seed: 1, WithReference: true}
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.RunFig5(p); err != nil {
+		if _, err := expt.RunFig5(p, expt.RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -65,7 +65,7 @@ func BenchmarkFig5EstimatorComparison(b *testing.B) {
 
 func BenchmarkFig7WorkedExample(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := expt.RunFig7()
+		r, err := expt.RunFig7(expt.RunOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -81,7 +81,7 @@ func BenchmarkFig8Frontier(b *testing.B) {
 		MinSwitches: 16, MaxSwitches: 120, Seed: 1,
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.RunFig8(p); err != nil {
+		if _, err := expt.RunFig8(p, expt.RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -90,7 +90,7 @@ func BenchmarkFig8Frontier(b *testing.B) {
 func BenchmarkFig9Cost(b *testing.B) {
 	p := expt.Fig9Params{Servers: 512, Radix: 16, MinH: 2, Seed: 1}
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.RunFig9(p); err != nil {
+		if _, err := expt.RunFig9(p, expt.RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -102,7 +102,7 @@ func BenchmarkFig10Failures(b *testing.B) {
 		SizeList: []int{512}, Fractions: []float64{0.1, 0.2}, Seed: 1,
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.RunFig10(p); err != nil {
+		if _, err := expt.RunFig10(p, expt.RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -114,7 +114,7 @@ func BenchmarkTable3ScalingLimits(b *testing.B) {
 		BBWProbeSwitches: []int{64}, Seed: 1,
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.RunTable3(p); err != nil {
+		if _, err := expt.RunTable3(p, expt.RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -126,7 +126,7 @@ func BenchmarkTable5Oversubscription(b *testing.B) {
 		PerSw: map[expt.Family]int{expt.FamilyJellyfish: 4, expt.FamilyXpander: 4, expt.FamilyFatClique: 4},
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.RunTable5(p); err != nil {
+		if _, err := expt.RunTable5(p, expt.RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -134,7 +134,7 @@ func BenchmarkTable5Oversubscription(b *testing.B) {
 
 func BenchmarkTableA1ClosTUB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := expt.RunTableA1()
+		r, err := expt.RunTableA1(expt.RunOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -149,7 +149,7 @@ func BenchmarkTableA1ClosTUB(b *testing.B) {
 func BenchmarkFigA1TheoreticalGap(b *testing.B) {
 	p := expt.FigA1Params{Radix: 16, Servers: 4, Switches: []int{64, 256}, Slack: 1, Seed: 1}
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.RunFigA1(p); err != nil {
+		if _, err := expt.RunFigA1(p, expt.RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -158,7 +158,7 @@ func BenchmarkFigA1TheoreticalGap(b *testing.B) {
 func BenchmarkFigA2SameEquipment(b *testing.B) {
 	p := expt.FigA2Params{FatTreeK: []int{8}, Seed: 1}
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.RunFigA2(p); err != nil {
+		if _, err := expt.RunFigA2(p, expt.RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -167,7 +167,7 @@ func BenchmarkFigA2SameEquipment(b *testing.B) {
 func BenchmarkFigA4Expansion(b *testing.B) {
 	p := expt.FigA4Params{Radix: 16, Servers: []int{4}, InitN: 128, MaxRatio: 1.6, Step: 0.2, Seed: 1}
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.RunFigA4(p); err != nil {
+		if _, err := expt.RunFigA4(p, expt.RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -176,7 +176,7 @@ func BenchmarkFigA4Expansion(b *testing.B) {
 func BenchmarkFigA5KSweep(b *testing.B) {
 	p := expt.FigA5Params{Radix: 10, Servers: 4, Switches: []int{24}, KList: []int{2, 8}, Seed: 1}
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.RunFigA5(p); err != nil {
+		if _, err := expt.RunFigA5(p, expt.RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -243,12 +243,12 @@ func BenchmarkFig3ThroughputGapParallel(b *testing.B) {
 	for _, w := range benchWorkerCounts() {
 		p := expt.Fig3Params{
 			Family: expt.FamilyJellyfish, Radix: 10, Servers: []int{4},
-			Switches: []int{24, 54}, K: 8, Seed: 1, Workers: w,
+			Switches: []int{24, 54}, K: 8, Seed: 1,
 		}
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			theta := 0.0
 			for i := 0; i < b.N; i++ {
-				r, err := expt.RunFig3(p)
+				r, err := expt.RunFig3(p, expt.RunOptions{Workers: w})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -9,8 +9,8 @@
 //	topobench tub     -family xpander   -switches 512 -radix 32 -servers 10
 //	topobench metrics -family jellyfish -switches 128 -radix 16 -servers 8
 //	topobench mcf     -family jellyfish -switches 64  -radix 10 -servers 4 -k 16
-//	topobench expt    fig3|fig4|fig5|fig7|fig8|fig9|fig10|tab3|tab5|tabA1|figA1|figA2|figA4|figA5|routing|wedge
-//	topobench report  [-markdown] [-heavy] [-convergence] > EXPERIMENTS.out
+//	topobench expt    [-list] [-json] [-cache DIR] <id>
+//	topobench report  [-markdown] [-heavy] [-only id,id] [-cache DIR] [-convergence] > EXPERIMENTS.out
 //
 // Every subcommand accepts the shared observability flags: -v (log
 // completed spans to stderr), -progress (stage progress with ETA on
@@ -80,21 +80,23 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `topobench <command> [flags]
+	fmt.Fprintf(os.Stderr, `topobench <command> [flags]
 
 commands:
   gen      generate a topology and print its summary
   tub      compute the throughput upper bound (Theorem 2.2)
   metrics  compute every capacity metric on one topology
   mcf      route the maximal permutation with KSP-MCF and report θ
-  expt     run one paper experiment by id (fig3..figA5, tab3, tab5, tabA1, routing, wedge)
+  expt     run one paper experiment by id (-list for details, -json, -cache DIR):
+           %s
   design   size a full-throughput fabric and plan expansions (§5-§6 design aid)
-  report   run the full experiment suite (use -heavy for paper-scale runs)
+  report   run the full experiment suite (-heavy, -only id,id, -cache DIR)
   bench    run the distance-kernel benchmarks and write BENCH_msbfs.json
   version  print build information
 
 observability (all commands): -v, -progress, -trace FILE, -metrics ADDR,
--cpuprofile FILE, -memprofile FILE`)
+-cpuprofile FILE, -memprofile FILE
+`, strings.Join(expt.IDs(), "|"))
 }
 
 // printVersion reports the module version and, when built from a VCS
@@ -548,16 +550,43 @@ func cmdMCF(w io.Writer, args []string) error {
 	return nil
 }
 
+// cmdExpt runs one registered experiment by id (the id may come before
+// or after the flags). -list prints the registry instead of running;
+// -json emits the result's deterministic payload instead of tables;
+// -cache DIR replays a previously stored result without recomputation.
 func cmdExpt(w io.Writer, args []string) error {
-	if len(args) < 1 {
-		return fmt.Errorf("expt needs an experiment id")
-	}
-	id := args[0]
-	fs := flag.NewFlagSet("expt", flag.ExitOnError)
+	fs := flag.NewFlagSet("expt", flag.ContinueOnError)
 	var rf runFlags
 	rf.register(fs)
-	if err := fs.Parse(args[1:]); err != nil {
+	list := fs.Bool("list", false, "list every registered experiment id and exit")
+	jsonOut := fs.Bool("json", false, "emit the deterministic JSON payload instead of rendered tables")
+	cache := fs.String("cache", "", "persist/replay results in this directory (content-addressed by id+params)")
+	var id string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		id, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if id == "" {
+		id = fs.Arg(0)
+	}
+	if *list {
+		for _, e := range expt.Experiments() {
+			heavy := ""
+			if e.Heavy {
+				heavy = " [heavy]"
+			}
+			fmt.Fprintf(w, "%-10s %s%s\n", e.ID, e.Title, heavy)
+		}
+		return nil
+	}
+	if id == "" {
+		return fmt.Errorf("expt needs an experiment id (see `topobench expt -list`)")
+	}
+	e, ok := expt.Lookup(id)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (see `topobench expt -list`)", id)
 	}
 	o, done, err := rf.observe()
 	if err != nil {
@@ -569,141 +598,44 @@ func cmdExpt(w io.Writer, args []string) error {
 		return err
 	}
 	defer stop()
-	print := func(tabs ...*expt.Table) {
-		for _, t := range tabs {
-			fmt.Fprintln(w, t.String())
-		}
+	ropt := expt.RunOptions{Workers: rf.workers, Obs: o, Memo: &expt.Memo{Obs: o}}
+	if *cache != "" {
+		ropt.Store = expt.NewStore(*cache, o)
+		defer storeSummary(ropt.Store)
 	}
-	switch id {
-	case "fig3":
-		for _, f := range []expt.Family{expt.FamilyJellyfish, expt.FamilyXpander, expt.FamilyFatClique} {
-			p := expt.DefaultFig3(f)
-			p.Workers, p.Obs = rf.workers, o
-			r, err := expt.RunFig3(p)
-			if err != nil {
-				return err
-			}
-			print(r.Table())
-		}
-	case "fig4":
-		p := expt.DefaultFig4()
-		p.Workers, p.Obs = rf.workers, o
-		r, err := expt.RunFig4(p)
+	r, err := expt.RunStored(e, ropt)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		payload, err := expt.Payload(r)
 		if err != nil {
 			return err
 		}
-		print(r.Table())
-	case "fig5":
-		p := expt.DefaultFig5()
-		p.Workers, p.Obs = rf.workers, o
-		r, err := expt.RunFig5(p)
-		if err != nil {
-			return err
-		}
-		print(r.Table(), r.TimeTable())
-	case "fig7":
-		r, err := expt.RunFig7()
-		if err != nil {
-			return err
-		}
-		print(r.Table())
-	case "fig8":
-		for _, f := range []expt.Family{expt.FamilyJellyfish, expt.FamilyXpander} {
-			r, err := expt.RunFig8(expt.DefaultFig8(f))
-			if err != nil {
-				return err
-			}
-			print(r.Table())
-		}
-	case "fig9":
-		r, err := expt.RunFig9(expt.DefaultFig9())
-		if err != nil {
-			return err
-		}
-		print(r.Table())
-	case "fig10":
-		p := expt.DefaultFig10()
-		p.Workers, p.Obs = rf.workers, o
-		r, err := expt.RunFig10(p)
-		if err != nil {
-			return err
-		}
-		print(r.Table())
-	case "tab3":
-		r, err := expt.RunTable3(expt.DefaultTable3())
-		if err != nil {
-			return err
-		}
-		print(r.Table())
-	case "tab5":
-		r, err := expt.RunTable5(expt.DefaultTable5())
-		if err != nil {
-			return err
-		}
-		print(r.Table())
-	case "tabA1":
-		r, err := expt.RunTableA1()
-		if err != nil {
-			return err
-		}
-		print(r.Table())
-	case "figA1":
-		r, err := expt.RunFigA1(expt.DefaultFigA1())
-		if err != nil {
-			return err
-		}
-		print(r.Table())
-	case "figA2":
-		r, err := expt.RunFigA2(expt.DefaultFigA2())
-		if err != nil {
-			return err
-		}
-		print(r.Table())
-	case "figA4":
-		r, err := expt.RunFigA4(expt.DefaultFigA4())
-		if err != nil {
-			return err
-		}
-		print(r.Table())
-	case "figA5":
-		r, err := expt.RunFigA5(expt.DefaultFigA5())
-		if err != nil {
-			return err
-		}
-		print(r.Table())
-	case "ablation":
-		r, err := expt.RunAblation(expt.DefaultAblation())
-		if err != nil {
-			return err
-		}
-		print(r.Tables()...)
-	case "routing":
-		p := expt.DefaultRouting()
-		p.Workers, p.Obs = rf.workers, o
-		r, err := expt.RunRouting(p)
-		if err != nil {
-			return err
-		}
-		print(r.Table())
-	case "wedge":
-		r, err := expt.RunWedge(expt.DefaultWedge())
-		if err != nil {
-			return err
-		}
-		print(r.Table())
-	default:
-		return fmt.Errorf("unknown experiment %q", id)
+		fmt.Fprintf(w, "%s\n", payload)
+		return nil
+	}
+	for _, t := range r.Tables() {
+		fmt.Fprintln(w, t.String())
 	}
 	return nil
 }
 
+// storeSummary reports the store's cache counters on stderr, so a user
+// (or the CI resume job) can tell replayed steps from recomputed ones.
+func storeSummary(s *expt.Store) {
+	fmt.Fprintf(os.Stderr, "topobench: store: hits=%d misses=%d\n", s.Hits(), s.Misses())
+}
+
 func cmdReport(w io.Writer, args []string) error {
-	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	var rf runFlags
 	rf.register(fs)
 	markdown := fs.Bool("markdown", false, "emit markdown tables")
 	heavy := fs.Bool("heavy", false, "also run the paper-scale demonstrations (minutes)")
 	convergence := fs.Bool("convergence", false, "append a table of MCF convergence trajectories (rounds, dual, theta_lb per solve)")
+	cache := fs.String("cache", "", "persist finished steps in this directory; a repeated or interrupted report replays them")
+	only := fs.String("only", "", "comma-separated experiment ids to run (see `topobench expt -list`)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -712,6 +644,11 @@ func cmdReport(w io.Writer, args []string) error {
 		Heavy:    *heavy,
 		Progress: os.Stderr,
 		Workers:  rf.workers,
+	}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			opt.Only = append(opt.Only, strings.TrimSpace(id))
+		}
 	}
 	var extra []obs.Sink
 	if *convergence {
@@ -724,6 +661,10 @@ func cmdReport(w io.Writer, args []string) error {
 	}
 	defer done()
 	opt.Obs = o
+	if *cache != "" {
+		opt.Store = expt.NewStore(*cache, o)
+		defer storeSummary(opt.Store)
+	}
 	stop, err := rf.profile()
 	if err != nil {
 		return err

@@ -8,6 +8,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"dctopo/expt"
 )
 
 func TestCmdGen(t *testing.T) {
@@ -236,5 +238,87 @@ func TestCmdBenchKSPCase(t *testing.T) {
 	}
 	if rep.Speedup["switches=24"] <= 0 {
 		t.Fatalf("missing speedup: %v", rep.Speedup)
+	}
+}
+
+// TestCmdExptList: -list must name every registered experiment.
+func TestCmdExptList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := cmdExpt(&buf, []string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range expt.IDs() {
+		if !strings.Contains(buf.String(), id) {
+			t.Errorf("-list missing %q:\n%s", id, buf.String())
+		}
+	}
+}
+
+// TestCmdExptJSON: -json must emit the experiment's payload as valid
+// JSON, with the id accepted before or after the flags.
+func TestCmdExptJSON(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := cmdExpt(&a, []string{"fig7", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	var v map[string]interface{}
+	if err := json.Unmarshal(a.Bytes(), &v); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, a.String())
+	}
+	if err := cmdExpt(&b, []string{"-json", "fig7"}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("id-after-flags run differs from id-first run")
+	}
+}
+
+// TestCmdExptBadFlagIsError: the expt flag set must return parse errors
+// instead of exiting the process (flag.ContinueOnError).
+func TestCmdExptBadFlagIsError(t *testing.T) {
+	if err := cmdExpt(io.Discard, []string{"fig7", "-bogus"}); err == nil {
+		t.Error("expected an error for an unknown flag")
+	}
+}
+
+// TestCmdExptCache: -cache must write one entry and replay the second
+// run byte-identically from it.
+func TestCmdExptCache(t *testing.T) {
+	dir := t.TempDir()
+	var a, b bytes.Buffer
+	if err := cmdExpt(&a, []string{"fig7", "-cache", dir}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d cache entries, want 1", len(entries))
+	}
+	if err := cmdExpt(&b, []string{"fig7", "-cache", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("cached run differs:\n%s\nvs\n%s", b.String(), a.String())
+	}
+}
+
+// TestCmdReportOnlyCache: report restricted to the sub-second steps,
+// run twice against one cache dir, must render identically.
+func TestCmdReportOnlyCache(t *testing.T) {
+	dir := t.TempDir()
+	var a, b bytes.Buffer
+	if err := cmdReport(&a, []string{"-only", "fig7,tabA1", "-cache", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdReport(&b, []string{"-only", "fig7,tabA1", "-cache", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("second report differs:\n%s\nvs\n%s", b.String(), a.String())
+	}
+	if err := cmdReport(io.Discard, []string{"-only", "bogus"}); err == nil {
+		t.Error("expected an error for an unknown -only id")
 	}
 }

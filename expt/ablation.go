@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dctopo/mcf"
+	"dctopo/obs"
 	"dctopo/tub"
 )
 
@@ -38,56 +39,75 @@ type AblationRow struct {
 	Elapsed time.Duration
 }
 
-// RunAblation evaluates the variants.
-func RunAblation(p AblationParams) (*AblationResult, error) {
+// RunAblation evaluates the variants. The two studies (matchers and MCF
+// backends) run as concurrent jobs; the variant loop inside each stays
+// sequential so the timed computations within a study do not contend
+// with each other. Instance builds go through the Memo; every timed
+// variant runs fresh. The Value columns are deterministic, the time
+// columns are measurements.
+func RunAblation(p AblationParams, opt RunOptions) (_ *AblationResult, err error) {
+	ro, rsp := opt.Obs.Start("expt.ablation")
+	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
+	memo := opt.memo(ro)
+	run := NewRunner(opt.Workers).Observe(ro, "ablation")
 	res := &AblationResult{Params: p}
-	t, err := Build(FamilyJellyfish, p.Switches, p.Radix, p.Servers, p.Seed)
-	if err != nil {
+	studies := []func() error{
+		func() error { // matcher study
+			t, err := memo.BuildTopo(FamilyJellyfish, p.Switches, p.Radix, p.Servers, p.Seed, ro)
+			if err != nil {
+				return err
+			}
+			for _, m := range []struct {
+				name string
+				m    tub.Matcher
+			}{
+				{"exact (JV)", tub.ExactMatcher},
+				{"auction", tub.AuctionMatcher},
+				{"greedy (Alg. 1)", tub.GreedyMatcher},
+			} {
+				start := time.Now()
+				ub, err := tub.Bound(t, tub.Options{Matcher: m.m})
+				if err != nil {
+					return err
+				}
+				res.Matchers = append(res.Matchers, AblationRow{m.name, ub.Bound, time.Since(start)})
+			}
+			return nil
+		},
+		func() error { // MCF backend study
+			small, err := memo.BuildTopo(FamilyJellyfish, p.MCFSwitches, p.Radix-4, p.Servers-2, p.Seed, ro)
+			if err != nil {
+				return err
+			}
+			ub, err := tub.Bound(small, tub.Options{})
+			if err != nil {
+				return err
+			}
+			tm, err := ub.Matrix(small)
+			if err != nil {
+				return err
+			}
+			paths := mcf.KShortest(small, tm, p.K)
+			for _, b := range []struct {
+				name string
+				opt  mcf.Options
+			}{
+				{"simplex (exact)", mcf.Options{Method: mcf.Exact}},
+				{"garg-konemann eps=0.02", mcf.Options{Method: mcf.Approx, Eps: 0.02}},
+				{"garg-konemann eps=0.10", mcf.Options{Method: mcf.Approx, Eps: 0.10}},
+			} {
+				start := time.Now()
+				theta, err := mcf.Throughput(small, tm, paths, b.opt)
+				if err != nil {
+					return err
+				}
+				res.Backends = append(res.Backends, AblationRow{b.name, theta, time.Since(start)})
+			}
+			return nil
+		},
+	}
+	if err = run.ForEach(len(studies), func(i int) error { return studies[i]() }); err != nil {
 		return nil, err
-	}
-	for _, m := range []struct {
-		name string
-		m    tub.Matcher
-	}{
-		{"exact (JV)", tub.ExactMatcher},
-		{"auction", tub.AuctionMatcher},
-		{"greedy (Alg. 1)", tub.GreedyMatcher},
-	} {
-		start := time.Now()
-		ub, err := tub.Bound(t, tub.Options{Matcher: m.m})
-		if err != nil {
-			return nil, err
-		}
-		res.Matchers = append(res.Matchers, AblationRow{m.name, ub.Bound, time.Since(start)})
-	}
-
-	small, err := Build(FamilyJellyfish, p.MCFSwitches, p.Radix-4, p.Servers-2, p.Seed)
-	if err != nil {
-		return nil, err
-	}
-	ub, err := tub.Bound(small, tub.Options{})
-	if err != nil {
-		return nil, err
-	}
-	tm, err := ub.Matrix(small)
-	if err != nil {
-		return nil, err
-	}
-	paths := mcf.KShortest(small, tm, p.K)
-	for _, b := range []struct {
-		name string
-		opt  mcf.Options
-	}{
-		{"simplex (exact)", mcf.Options{Method: mcf.Exact}},
-		{"garg-konemann eps=0.02", mcf.Options{Method: mcf.Approx, Eps: 0.02}},
-		{"garg-konemann eps=0.10", mcf.Options{Method: mcf.Approx, Eps: 0.10}},
-	} {
-		start := time.Now()
-		theta, err := mcf.Throughput(small, tm, paths, b.opt)
-		if err != nil {
-			return nil, err
-		}
-		res.Backends = append(res.Backends, AblationRow{b.name, theta, time.Since(start)})
 	}
 	return res, nil
 }

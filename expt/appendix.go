@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dctopo/mcf"
+	"dctopo/obs"
 	"dctopo/topo"
 	"dctopo/tub"
 )
@@ -42,26 +43,36 @@ type FigA1Result struct {
 	Rows   []FigA1Row
 }
 
-// RunFigA1 computes the theoretical throughput gap across sizes.
-func RunFigA1(p FigA1Params) (*FigA1Result, error) {
-	res := &FigA1Result{Params: p}
-	for _, n := range p.Switches {
-		t, err := Build(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed)
+// RunFigA1 computes the theoretical throughput gap across sizes. The
+// size points run concurrently on the Runner pool into index-addressed
+// slots; builds and bounds go through the Memo (the sweep visits the
+// same R=32 Jellyfish instances as tab3 and the large Figure 5 run).
+func RunFigA1(p FigA1Params, opt RunOptions) (_ *FigA1Result, err error) {
+	ro, rsp := opt.Obs.Start("expt.figA1", obs.Int("jobs", len(p.Switches)))
+	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
+	memo := opt.memo(ro)
+	run := NewRunner(opt.Workers).Observe(ro, "figA1")
+	rows := make([]FigA1Row, len(p.Switches))
+	err = run.ForEach(len(p.Switches), func(i int) error {
+		n := p.Switches[i]
+		jo, jsp := ro.Start("figA1.job", obs.Int("n", n))
+		defer jsp.End()
+		t, ub, err := memo.BuildBound(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed, jo)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ub, err := tub.Bound(t, tub.Options{})
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, FigA1Row{
+		rows[i] = FigA1Row{
 			Servers: t.NumServers(),
 			Upper:   ub.Bound,
 			Lower:   ub.LowerBound(t, p.Slack),
 			Gap:     ub.TheoreticalGap(t, p.Slack),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &FigA1Result{Params: p, Rows: rows}, nil
 }
 
 // Table renders the sweep.
@@ -76,6 +87,9 @@ func (r *FigA1Result) Table() *Table {
 	t.Notes = append(t.Notes, "paper shape: the maximum possible gap shrinks as the topology grows and vanishes asymptotically (Fig. A.1, Corollary 2)")
 	return t
 }
+
+// Tables implements Result.
+func (r *FigA1Result) Tables() []*Table { return []*Table{r.Table()} }
 
 // FigA2Params configures the equipment-normalized Jellyfish vs fat-tree
 // comparison (Figure A.2) and the Xpander vs fat-tree switch-count
@@ -113,22 +127,28 @@ type FigA2Result struct {
 	Rows   []FigA2Row
 }
 
-// RunFigA2 runs the equipment-normalized comparisons.
-func RunFigA2(p FigA2Params) (*FigA2Result, error) {
-	res := &FigA2Result{Params: p}
-	for _, k := range p.FatTreeK {
+// RunFigA2 runs the equipment-normalized comparisons. The fat-tree
+// radix points run concurrently on the Runner pool (the H searches
+// inside a point are sequential: each step depends on the last bound);
+// candidate builds and bounds go through the Memo.
+func RunFigA2(p FigA2Params, opt RunOptions) (_ *FigA2Result, err error) {
+	ro, rsp := opt.Obs.Start("expt.figA2", obs.Int("jobs", len(p.FatTreeK)))
+	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
+	memo := opt.memo(ro)
+	run := NewRunner(opt.Workers).Observe(ro, "figA2")
+	rows := make([]FigA2Row, len(p.FatTreeK))
+	err = run.ForEach(len(p.FatTreeK), func(i int) error {
+		k := p.FatTreeK[i]
+		jo, jsp := ro.Start("figA2.job", obs.Int("k", k))
+		defer jsp.End()
 		cfg := topo.ClosConfig{Radix: k, Layers: 3, Pods: k}
 		row := FigA2Row{K: k, FatTreeServers: cfg.NumServers(), FatTreeSwitches: cfg.NumSwitches()}
 		// Jellyfish on the same equipment: same switch count, same radix;
 		// increase H until TUB < 1.
 		for h := 1; k-h >= 2; h++ {
-			t, err := topo.Jellyfish(topo.JellyfishConfig{Switches: row.FatTreeSwitches, Radix: k, Servers: h, Seed: p.Seed})
+			t, ub, err := memo.BuildBound(FamilyJellyfish, row.FatTreeSwitches, k, h, p.Seed, jo)
 			if err != nil {
 				break
-			}
-			ub, err := tub.Bound(t, tub.Options{})
-			if err != nil {
-				return nil, err
 			}
 			if ub.Bound < 1 {
 				break
@@ -142,25 +162,29 @@ func RunFigA2(p FigA2Params) (*FigA2Result, error) {
 				continue
 			}
 			n := (row.FatTreeServers + h - 1) / h
-			t, err := topo.Xpander(topo.XpanderConfig{Switches: n, Radix: k, Servers: h, Seed: p.Seed})
+			t, err := memo.BuildTopo(FamilyXpander, n, k, h, p.Seed, jo)
 			if err != nil {
 				continue
 			}
 			if t.NumServers() < row.FatTreeServers {
 				continue
 			}
-			ub, err := tub.Bound(t, tub.Options{})
+			_, ub, err := memo.BuildBound(FamilyXpander, n, k, h, p.Seed, jo)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if ub.Bound >= 1 {
 				row.XpanderSwitches = t.NumSwitches()
 				break
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &FigA2Result{Params: p, Rows: rows}, nil
 }
 
 // Table renders both comparisons.
@@ -186,6 +210,9 @@ func (r *FigA2Result) Table() *Table {
 	t.Notes = append(t.Notes, "paper shape: the Jellyfish advantage is far below the 27% claimed with ideal-routing estimates, and does not grow with radix (Fig. A.2)")
 	return t
 }
+
+// Tables implements Result.
+func (r *FigA2Result) Tables() []*Table { return []*Table{r.Table()} }
 
 // FigA4Params configures the expansion experiment (§5.1, §L, Fig. A.4):
 // grow a Jellyfish by random rewiring at fixed H and track normalized TUB.
@@ -227,19 +254,26 @@ type FigA4Result struct {
 	Rows   []FigA4Row
 }
 
-// RunFigA4 expands at fixed H and measures the TUB drop.
-func RunFigA4(p FigA4Params) (*FigA4Result, error) {
-	res := &FigA4Result{Params: p}
-	for _, h := range p.Servers {
-		t, err := topo.Jellyfish(topo.JellyfishConfig{Switches: p.InitN / h, Radix: p.Radix, Servers: h, Seed: p.Seed})
+// RunFigA4 expands at fixed H and measures the TUB drop. The H values
+// run concurrently on the Runner pool (the expansion chain inside one H
+// is inherently sequential); the initial instance and its bound come
+// from the Memo, while each expanded topology is necessarily fresh
+// (Expand copies, so the memoized base is never mutated).
+func RunFigA4(p FigA4Params, opt RunOptions) (_ *FigA4Result, err error) {
+	ro, rsp := opt.Obs.Start("expt.figA4", obs.Int("jobs", len(p.Servers)))
+	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
+	memo := opt.memo(ro)
+	run := NewRunner(opt.Workers).Observe(ro, "figA4")
+	perH := make([][]FigA4Row, len(p.Servers))
+	err = run.ForEach(len(p.Servers), func(i int) error {
+		h := p.Servers[i]
+		jo, jsp := ro.Start("figA4.job", obs.Int("h", h))
+		defer jsp.End()
+		t, base, err := memo.BuildBound(FamilyJellyfish, p.InitN/h, p.Radix, h, p.Seed, jo)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		base, err := tub.Bound(t, tub.Options{})
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, FigA4Row{H: h, Ratio: 1, Servers: t.NumServers(), TUB: base.Bound, Normalized: 1})
+		rows := []FigA4Row{{H: h, Ratio: 1, Servers: t.NumServers(), TUB: base.Bound, Normalized: 1}}
 		cur := t
 		initSw := t.NumSwitches()
 		for ratio := 1 + p.Step; ratio <= p.MaxRatio+1e-9; ratio += p.Step {
@@ -250,17 +284,26 @@ func RunFigA4(p FigA4Params) (*FigA4Result, error) {
 			}
 			cur, err = topo.Expand(cur, add, p.Seed+uint64(ratio*100))
 			if err != nil {
-				return nil, err
+				return err
 			}
-			ub, err := tub.Bound(cur, tub.Options{})
+			ub, err := tub.Bound(cur, tub.Options{Obs: jo})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			res.Rows = append(res.Rows, FigA4Row{
+			rows = append(rows, FigA4Row{
 				H: h, Ratio: ratio, Servers: cur.NumServers(),
 				TUB: ub.Bound, Normalized: ub.Bound / base.Bound,
 			})
 		}
+		perH[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &FigA4Result{Params: p}
+	for _, rows := range perH {
+		res.Rows = append(res.Rows, rows...)
 	}
 	return res, nil
 }
@@ -283,6 +326,9 @@ func (r *FigA4Result) Table() *Table {
 	t.Notes = append(t.Notes, "paper shape: expansion at fixed H can cost >20% throughput from small starting points; larger starts lose little (Fig. A.4)")
 	return t
 }
+
+// Tables implements Result.
+func (r *FigA4Result) Tables() []*Table { return []*Table{r.Table()} }
 
 // FigA5Params configures the K-sensitivity sweep (Figure A.5).
 type FigA5Params struct {
@@ -317,34 +363,52 @@ type FigA5Result struct {
 	Rows   []FigA5Row
 }
 
-// RunFigA5 measures the throughput gap for different K.
-func RunFigA5(p FigA5Params) (*FigA5Result, error) {
-	res := &FigA5Result{Params: p}
-	for _, n := range p.Switches {
-		t, err := Build(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed)
+// RunFigA5 measures the throughput gap for different K. The size points
+// run concurrently on the Runner pool (the K values inside one size
+// share the topology and bound, which come from the Memo); rows land in
+// sweep order. The KSP and MCF stages are bit-identical for any worker
+// count.
+func RunFigA5(p FigA5Params, opt RunOptions) (_ *FigA5Result, err error) {
+	ro, rsp := opt.Obs.Start("expt.figA5", obs.Int("jobs", len(p.Switches)))
+	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
+	memo := opt.memo(ro)
+	run := NewRunner(opt.Workers).Observe(ro, "figA5")
+	inner := run.InnerWorkers(len(p.Switches))
+	perSize := make([][]FigA5Row, len(p.Switches))
+	err = run.ForEach(len(p.Switches), func(i int) error {
+		n := p.Switches[i]
+		jo, jsp := ro.Start("figA5.job", obs.Int("n", n))
+		defer jsp.End()
+		t, ub, err := memo.BuildBound(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed, jo)
 		if err != nil {
-			return nil, err
-		}
-		ub, err := tub.Bound(t, tub.Options{})
-		if err != nil {
-			return nil, err
+			return err
 		}
 		tm, err := ub.Matrix(t)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		rows := make([]FigA5Row, 0, len(p.KList))
 		for _, k := range p.KList {
-			paths := mcf.KShortest(t, tm, k)
-			theta, err := mcf.Throughput(t, tm, paths, mcf.Options{Method: mcf.Approx, Eps: 0.02})
+			paths := mcf.KShortestObs(t, tm, k, inner, jo)
+			theta, err := mcf.Throughput(t, tm, paths, mcf.Options{Method: mcf.Approx, Eps: 0.02, Workers: inner, Obs: jo})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			gap := ub.Bound - theta
 			if gap < 0 {
 				gap = 0
 			}
-			res.Rows = append(res.Rows, FigA5Row{K: k, Servers: t.NumServers(), TUB: ub.Bound, Theta: theta, Gap: gap})
+			rows = append(rows, FigA5Row{K: k, Servers: t.NumServers(), TUB: ub.Bound, Theta: theta, Gap: gap})
 		}
+		perSize[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &FigA5Result{Params: p}
+	for _, rows := range perSize {
+		res.Rows = append(res.Rows, rows...)
 	}
 	return res, nil
 }
@@ -361,3 +425,6 @@ func (r *FigA5Result) Table() *Table {
 	t.Notes = append(t.Notes, "paper shape: too-small K leaves a residual gap even at large sizes; larger K converges (Fig. A.5)")
 	return t
 }
+
+// Tables implements Result.
+func (r *FigA5Result) Tables() []*Table { return []*Table{r.Table()} }

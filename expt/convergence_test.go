@@ -13,17 +13,16 @@ import (
 func TestFig3InstrumentedMatchesBare(t *testing.T) {
 	p := Fig3Params{
 		Family: FamilyJellyfish, Radix: 8, Servers: []int{3},
-		Switches: []int{12, 20}, K: 4, Seed: 1, Workers: 2,
+		Switches: []int{12, 20}, K: 4, Seed: 1,
 	}
-	bare, err := RunFig3(p)
+	bare, err := RunFig3(p, RunOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	rec := &ConvergenceRecorder{}
 	cap := &obs.Capture{}
-	p.Obs = obs.New(rec, cap)
-	traced, err := RunFig3(p)
+	traced, err := RunFig3(p, RunOptions{Workers: 2, Obs: obs.New(rec, cap)})
 	if err != nil {
 		t.Fatal(err)
 	}

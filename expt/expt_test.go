@@ -49,7 +49,7 @@ func TestBuildFamilies(t *testing.T) {
 }
 
 func TestRunFig7PaperValues(t *testing.T) {
-	r, err := RunFig7()
+	r, err := RunFig7(RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestRunFig3Small(t *testing.T) {
 		Family: FamilyJellyfish, Radix: 8, Servers: []int{3},
 		Switches: []int{12, 20}, K: 4, Seed: 1,
 	}
-	r, err := RunFig3(p)
+	r, err := RunFig3(p, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestRunFig3Small(t *testing.T) {
 
 func TestRunFig4Small(t *testing.T) {
 	p := Fig4Params{Radix: 8, Servers: 3, Switches: []int{16, 24}, K: 4, Seed: 1}
-	r, err := RunFig4(p)
+	r, err := RunFig4(p, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestRunFig4Small(t *testing.T) {
 
 func TestRunFig5Small(t *testing.T) {
 	p := Fig5Params{Radix: 8, Servers: 3, Switches: []int{16, 24}, K: 4, Seed: 1, WithReference: true}
-	r, err := RunFig5(p)
+	r, err := RunFig5(p, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestRunFig5Small(t *testing.T) {
 	_ = r.TimeTable().String()
 	// Without reference the table switches to absolute mode.
 	p.WithReference = false
-	r2, err := RunFig5(p)
+	r2, err := RunFig5(p, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestRunFig8Small(t *testing.T) {
 		Family: FamilyJellyfish, Radix: 12, Servers: []int{3, 6},
 		MinSwitches: 12, MaxSwitches: 60, Seed: 1,
 	}
-	r, err := RunFig8(p)
+	r, err := RunFig8(p, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestRunFig8Small(t *testing.T) {
 }
 
 func TestRunFatCliqueFrontierSmall(t *testing.T) {
-	r, err := RunFatCliqueFrontier(12, 4, 8, 60, 1)
+	r, err := RunFatCliqueFrontier(FatCliqueFrontierParams{Radix: 12, Servers: 4, MinSwitches: 8, MaxSwitches: 60, Seed: 1}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestRunFatCliqueFrontierSmall(t *testing.T) {
 
 func TestRunFig9Small(t *testing.T) {
 	p := Fig9Params{Servers: 256, Radix: 12, MinH: 2, Seed: 1}
-	r, err := RunFig9(p)
+	r, err := RunFig9(p, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestRunFig10Small(t *testing.T) {
 		Family: FamilyJellyfish, Radix: 12, Servers: 4,
 		SizeList: []int{160}, Fractions: []float64{0.1, 0.2}, Seed: 1,
 	}
-	r, err := RunFig10(p)
+	r, err := RunFig10(p, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestRunTable3PaperNumbers(t *testing.T) {
 		Radix: 32, Servers: []int{8}, MaxN: 1 << 30,
 		BBWProbeSwitches: []int{64}, Seed: 1,
 	}
-	r, err := RunTable3(p)
+	r, err := RunTable3(p, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestRunTable3PaperNumbers(t *testing.T) {
 }
 
 func TestRunTableA1AllOnes(t *testing.T) {
-	r, err := RunTableA1()
+	r, err := RunTableA1(RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +241,7 @@ func TestRunTable5Small(t *testing.T) {
 		Servers: 480, Radix: 12, Seed: 1,
 		PerSw: map[Family]int{FamilyJellyfish: 4, FamilyXpander: 4, FamilyFatClique: 4},
 	}
-	r, err := RunTable5(p)
+	r, err := RunTable5(p, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +253,7 @@ func TestRunTable5Small(t *testing.T) {
 
 func TestRunFigA1GapShrinks(t *testing.T) {
 	p := FigA1Params{Radix: 16, Servers: 4, Switches: []int{32, 256}, Slack: 1, Seed: 1}
-	r, err := RunFigA1(p)
+	r, err := RunFigA1(p, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +272,7 @@ func TestRunFigA1GapShrinks(t *testing.T) {
 }
 
 func TestRunFigA2Small(t *testing.T) {
-	r, err := RunFigA2(FigA2Params{FatTreeK: []int{4, 8}, Seed: 1})
+	r, err := RunFigA2(FigA2Params{FatTreeK: []int{4, 8}, Seed: 1}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +286,7 @@ func TestRunFigA2Small(t *testing.T) {
 
 func TestRunFigA4NormalizedStartsAtOne(t *testing.T) {
 	p := FigA4Params{Radix: 12, Servers: []int{4}, InitN: 96, MaxRatio: 1.5, Step: 0.25, Seed: 1}
-	r, err := RunFigA4(p)
+	r, err := RunFigA4(p, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +301,7 @@ func TestRunFigA4NormalizedStartsAtOne(t *testing.T) {
 
 func TestRunFigA5MorePathsSmallerGap(t *testing.T) {
 	p := FigA5Params{Radix: 8, Servers: 3, Switches: []int{24}, KList: []int{1, 8}, Seed: 1}
-	r, err := RunFigA5(p)
+	r, err := RunFigA5(p, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

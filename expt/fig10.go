@@ -20,13 +20,6 @@ type Fig10Params struct {
 	SizeList  []int // server counts N (switch count = N/H)
 	Fractions []float64
 	Seed      uint64
-	// Workers sizes the sweep's worker pool (0 = GOMAXPROCS). Results
-	// are identical for any worker count.
-	Workers int
-	// Obs, when non-nil, traces the sweep (root span "expt.fig10", one
-	// "fig10.job" span per (size, fraction) point) and counts base-memo
-	// hits/misses. Results are identical with or without it.
-	Obs *obs.Obs
 }
 
 // DefaultFig10 matches the paper's Figure 10(a) setting (Jellyfish,
@@ -59,19 +52,12 @@ type Fig10Result struct {
 	Deviation map[int]float64
 }
 
-// fig10Base is the per-size memoized state of the failure sweep: the
-// intact topology and its bound, shared by every fraction job of that
-// size so the untouched base is built and bounded exactly once.
-type fig10Base struct {
-	top *topo.Topology
-	ub  *tub.Result
-}
-
 // RunFig10 evaluates TUB under random link failures. The (size,
 // fraction) points run concurrently on the Runner pool; the intact base
-// topology and its bound are memoized per size, so the fraction jobs
-// only pay for their own degraded instance. Rows land in sweep order.
-func RunFig10(p Fig10Params) (_ *Fig10Result, err error) {
+// topology and its bound come from the Memo, so the fraction jobs only
+// pay for their own degraded instance — and under a report-shared Memo
+// the base is reused across experiments too. Rows land in sweep order.
+func RunFig10(p Fig10Params, opt RunOptions) (_ *Fig10Result, err error) {
 	type job struct {
 		size, fraction int // indices into SizeList / Fractions
 	}
@@ -81,33 +67,16 @@ func RunFig10(p Fig10Params) (_ *Fig10Result, err error) {
 			jobs = append(jobs, job{si, fi})
 		}
 	}
-	ro, rsp := p.Obs.Start("expt.fig10", obs.Int("jobs", len(jobs)))
+	ro, rsp := opt.Obs.Start("expt.fig10", obs.Int("jobs", len(jobs)))
 	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
-	memo := Memo{Obs: ro}
-	base := func(si int, jo *obs.Obs) (*fig10Base, error) {
-		n := p.SizeList[si]
-		v, err := memo.Do(fmt.Sprintf("base-%d", n), func() (interface{}, error) {
-			t, err := BuildObs(p.Family, n/p.Servers, p.Radix, p.Servers, p.Seed, jo)
-			if err != nil {
-				return nil, err
-			}
-			ub, err := tub.Bound(t, tub.Options{Obs: jo})
-			if err != nil {
-				return nil, err
-			}
-			return &fig10Base{top: t, ub: ub}, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		return v.(*fig10Base), nil
-	}
+	memo := opt.memo(ro)
 	rows := make([]Fig10Row, len(jobs))
-	err = NewRunner(p.Workers).Observe(ro, "fig10").ForEach(len(jobs), func(i int) error {
+	err = NewRunner(opt.Workers).Observe(ro, "fig10").ForEach(len(jobs), func(i int) error {
 		jo, jsp := ro.Start("fig10.job",
 			obs.Int("n", p.SizeList[jobs[i].size]), obs.Float("f", p.Fractions[jobs[i].fraction]))
 		defer jsp.End()
-		b, err := base(jobs[i].size, jo)
+		n := p.SizeList[jobs[i].size]
+		base, baseUB, err := memo.BuildBound(p.Family, n/p.Servers, p.Radix, p.Servers, p.Seed, jo)
 		if err != nil {
 			return err
 		}
@@ -115,7 +84,7 @@ func RunFig10(p Fig10Params) (_ *Fig10Result, err error) {
 		var failed *topo.Topology
 		var ferr error
 		for attempt := uint64(0); attempt < 10; attempt++ {
-			failed, ferr = b.top.WithLinkFailures(f, p.Seed+attempt)
+			failed, ferr = base.WithLinkFailures(f, p.Seed+attempt)
 			if ferr == nil {
 				break
 			}
@@ -128,8 +97,8 @@ func RunFig10(p Fig10Params) (_ *Fig10Result, err error) {
 			return err
 		}
 		rows[i] = Fig10Row{
-			Servers: b.top.NumServers(), Fraction: f,
-			Actual: ub.Bound, Nominal: (1 - f) * b.ub.Bound,
+			Servers: base.NumServers(), Fraction: f,
+			Actual: ub.Bound, Nominal: (1 - f) * baseUB.Bound,
 		}
 		return nil
 	})
@@ -184,3 +153,6 @@ func (r *Fig10Result) Table() *Table {
 	t.Notes = append(t.Notes, "paper shape: small topologies degrade gracefully; large ones deviate up to ~20% below nominal (Fig. 10)")
 	return t
 }
+
+// Tables implements Result.
+func (r *Fig10Result) Tables() []*Table { return []*Table{r.Table()} }

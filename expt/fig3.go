@@ -5,7 +5,6 @@ import (
 
 	"dctopo/mcf"
 	"dctopo/obs"
-	"dctopo/tub"
 )
 
 // Fig3Params configures the Figure 3 reproduction: the throughput gap
@@ -18,14 +17,6 @@ type Fig3Params struct {
 	Switches []int // switch counts to sweep
 	K        int   // paths per pair for KSP-MCF
 	Seed     uint64
-	// Workers sizes the sweep's worker pool (0 = GOMAXPROCS). Results
-	// are identical for any worker count.
-	Workers int
-	// Obs, when non-nil, traces the sweep: an "expt.fig3" root span, one
-	// "fig3.job" child span per (H, switches) point enclosing the
-	// topology-build/TUB/KSP/MCF stage spans, and progress ticks. Results
-	// are identical with or without it.
-	Obs *obs.Obs
 }
 
 // DefaultFig3 returns a laptop-scale parameterization (the paper uses
@@ -52,7 +43,7 @@ type Fig3Row struct {
 	Gap      float64 // TUB − Theta (>= 0 up to solver tolerance)
 }
 
-// Fig3Result is the Figure 3 series.
+// Fig3Result is the Figure 3 series for one family.
 type Fig3Result struct {
 	Params Fig3Params
 	Rows   []Fig3Row
@@ -60,7 +51,7 @@ type Fig3Result struct {
 
 // RunFig3 reproduces Figure 3 for one family. The (H, switches) points
 // run concurrently on the Runner pool; rows land in sweep order.
-func RunFig3(p Fig3Params) (_ *Fig3Result, err error) {
+func RunFig3(p Fig3Params, opt RunOptions) (_ *Fig3Result, err error) {
 	type job struct{ h, n int }
 	var jobs []job
 	for _, h := range p.Servers {
@@ -68,23 +59,20 @@ func RunFig3(p Fig3Params) (_ *Fig3Result, err error) {
 			jobs = append(jobs, job{h, n})
 		}
 	}
-	ro, rsp := p.Obs.Start("expt.fig3",
+	ro, rsp := opt.Obs.Start("expt.fig3",
 		obs.String("family", string(p.Family)), obs.Int("jobs", len(jobs)), obs.Int("k", p.K))
 	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
-	run := NewRunner(p.Workers).Observe(ro, "fig3")
+	memo := opt.memo(ro)
+	run := NewRunner(opt.Workers).Observe(ro, "fig3")
 	inner := run.InnerWorkers(len(jobs))
 	rows := make([]Fig3Row, len(jobs))
 	err = run.ForEach(len(jobs), func(i int) error {
 		h, n := jobs[i].h, jobs[i].n
 		jo, jsp := ro.Start("fig3.job", obs.Int("h", h), obs.Int("n", n))
 		defer jsp.End()
-		t, err := BuildObs(p.Family, n, p.Radix, h, p.Seed, jo)
+		t, ub, err := memo.BuildBound(p.Family, n, p.Radix, h, p.Seed, jo)
 		if err != nil {
 			return fmt.Errorf("expt: fig3 %s n=%d h=%d: %w", p.Family, n, h, err)
-		}
-		ub, err := tub.Bound(t, tub.Options{Obs: jo})
-		if err != nil {
-			return err
 		}
 		tm, err := ub.Matrix(t)
 		if err != nil {
@@ -122,4 +110,50 @@ func (r *Fig3Result) Table() *Table {
 	}
 	t.Notes = append(t.Notes, "paper shape: gap is non-zero at small sizes and approaches 0 as N grows (Fig. 3)")
 	return t
+}
+
+// Tables implements Result.
+func (r *Fig3Result) Tables() []*Table { return []*Table{r.Table()} }
+
+// Fig3SetParams is the registry-level Figure 3 configuration: the
+// per-family fan-out stays inside the driver, one run per family.
+type Fig3SetParams struct {
+	Runs []Fig3Params
+}
+
+// DefaultFig3Set covers the three uni-regular families of the paper.
+func DefaultFig3Set() Fig3SetParams {
+	return Fig3SetParams{Runs: []Fig3Params{
+		DefaultFig3(FamilyJellyfish),
+		DefaultFig3(FamilyXpander),
+		DefaultFig3(FamilyFatClique),
+	}}
+}
+
+// Fig3Set is the per-family Figure 3 series.
+type Fig3Set struct {
+	Params Fig3SetParams
+	Runs   []*Fig3Result
+}
+
+// RunFig3Set runs Figure 3 for each configured family.
+func RunFig3Set(p Fig3SetParams, opt RunOptions) (*Fig3Set, error) {
+	s := &Fig3Set{Params: p}
+	for _, rp := range p.Runs {
+		r, err := RunFig3(rp, opt)
+		if err != nil {
+			return nil, err
+		}
+		s.Runs = append(s.Runs, r)
+	}
+	return s, nil
+}
+
+// Tables implements Result: one table per family, in run order.
+func (s *Fig3Set) Tables() []*Table {
+	var ts []*Table
+	for _, r := range s.Runs {
+		ts = append(ts, r.Table())
+	}
+	return ts
 }

@@ -5,7 +5,6 @@ import (
 
 	"dctopo/mcf"
 	"dctopo/obs"
-	"dctopo/tub"
 )
 
 // Fig4Params configures the Figure 4 reproduction: (a) how much of the
@@ -18,13 +17,6 @@ type Fig4Params struct {
 	Switches []int
 	K        int // paths per pair for the flow split in (a)
 	Seed     uint64
-	// Workers sizes the sweep's worker pool (0 = GOMAXPROCS). Results
-	// are identical for any worker count.
-	Workers int
-	// Obs, when non-nil, traces the sweep (root span "expt.fig4", one
-	// "fig4.job" span per size point, stage spans inside). Results are
-	// identical with or without it.
-	Obs *obs.Obs
 }
 
 // DefaultFig4 returns the laptop-scale parameterization.
@@ -65,21 +57,18 @@ type Fig4Result struct {
 
 // RunFig4 reproduces Figure 4 on Jellyfish. The size points run
 // concurrently on the Runner pool; rows land in sweep order.
-func RunFig4(p Fig4Params) (_ *Fig4Result, err error) {
-	ro, rsp := p.Obs.Start("expt.fig4", obs.Int("jobs", len(p.Switches)), obs.Int("k", p.K))
+func RunFig4(p Fig4Params, opt RunOptions) (_ *Fig4Result, err error) {
+	ro, rsp := opt.Obs.Start("expt.fig4", obs.Int("jobs", len(p.Switches)), obs.Int("k", p.K))
 	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
-	run := NewRunner(p.Workers).Observe(ro, "fig4")
+	memo := opt.memo(ro)
+	run := NewRunner(opt.Workers).Observe(ro, "fig4")
 	inner := run.InnerWorkers(len(p.Switches))
 	rows := make([]Fig4Row, len(p.Switches))
 	err = run.ForEach(len(p.Switches), func(i int) error {
 		n := p.Switches[i]
 		jo, jsp := ro.Start("fig4.job", obs.Int("n", n))
 		defer jsp.End()
-		t, err := BuildObs(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed, jo)
-		if err != nil {
-			return err
-		}
-		ub, err := tub.Bound(t, tub.Options{Obs: jo})
+		t, ub, err := memo.BuildBound(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed, jo)
 		if err != nil {
 			return err
 		}
@@ -170,3 +159,6 @@ func (r *Fig4Result) Table() *Table {
 		fmt.Sprintf("path counts capped at %d per class", PathCap))
 	return t
 }
+
+// Tables implements Result.
+func (r *Fig4Result) Tables() []*Table { return []*Table{r.Table()} }

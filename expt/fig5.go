@@ -23,14 +23,6 @@ type Fig5Params struct {
 	// false only absolute estimates and runtimes are reported (Fig 5c/5d,
 	// the large-scale regime where MCF does not run).
 	WithReference bool
-	// Workers sizes the sweep's worker pool (0 = GOMAXPROCS). Estimates
-	// are identical for any worker count; the per-estimator runtimes
-	// naturally vary with core contention.
-	Workers int
-	// Obs, when non-nil, traces the sweep (root span "expt.fig5", one
-	// "fig5.job" span per size point, stage spans inside). Estimates are
-	// identical with or without it.
-	Obs *obs.Obs
 }
 
 // DefaultFig5 returns the laptop-scale parameterization with reference.
@@ -59,7 +51,7 @@ func LargeFig5() Fig5Params {
 // Fig5Row reports every estimator at one size.
 type Fig5Row struct {
 	Switches, Servers int
-	Theta             float64 // KSP-MCF reference (NaN when absent)
+	Theta             float64 // KSP-MCF reference (0 when absent)
 
 	TUB, BBW, SC, Singla, HM, JM                         float64
 	TUBTime, BBWTime, SCTime, SinglaTime, HMTime, JMTime time.Duration
@@ -75,19 +67,22 @@ type Fig5Result struct {
 // RunFig5 reproduces Figure 5. The size points run concurrently on the
 // Runner pool; rows land in sweep order. Estimates are deterministic;
 // the timing columns measure each estimator inside its job and so
-// reflect contention when the pool is wider than one.
-func RunFig5(p Fig5Params) (_ *Fig5Result, err error) {
-	ro, rsp := p.Obs.Start("expt.fig5",
+// reflect contention when the pool is wider than one. Builds go through
+// the Memo but every timed computation runs fresh, so a shared memo
+// never deflates the runtime columns.
+func RunFig5(p Fig5Params, opt RunOptions) (_ *Fig5Result, err error) {
+	ro, rsp := opt.Obs.Start("expt.fig5",
 		obs.Int("jobs", len(p.Switches)), obs.Bool("reference", p.WithReference))
 	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
-	run := NewRunner(p.Workers).Observe(ro, "fig5")
+	memo := opt.memo(ro)
+	run := NewRunner(opt.Workers).Observe(ro, "fig5")
 	inner := run.InnerWorkers(len(p.Switches))
 	rows := make([]Fig5Row, len(p.Switches))
 	err = run.ForEach(len(p.Switches), func(i int) error {
 		n := p.Switches[i]
 		jo, jsp := ro.Start("fig5.job", obs.Int("n", n))
 		defer jsp.End()
-		t, err := BuildObs(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed, jo)
+		t, err := memo.BuildTopo(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed, jo)
 		if err != nil {
 			return err
 		}
@@ -213,4 +208,48 @@ func (r *Fig5Result) TimeTable() *Table {
 	}
 	t.Notes = append(t.Notes, "paper shape: TUB is near the cut metrics in cost and far cheaper than MCF (Fig. 5b/5d)")
 	return t
+}
+
+// Tables implements Result: the accuracy table then the runtime table.
+func (r *Fig5Result) Tables() []*Table { return []*Table{r.Table(), r.TimeTable()} }
+
+// Fig5SetParams is the registry-level Figure 5 configuration. Both the
+// with-reference default and the no-reference LargeFig5 variant run, so
+// `topobench expt fig5` and the report render the same four tables.
+type Fig5SetParams struct {
+	Runs []Fig5Params
+}
+
+// DefaultFig5Set pairs the default (Fig 5a/5b) and large (Fig 5c/5d)
+// parameterizations.
+func DefaultFig5Set() Fig5SetParams {
+	return Fig5SetParams{Runs: []Fig5Params{DefaultFig5(), LargeFig5()}}
+}
+
+// Fig5Set holds one Fig5Result per configured variant.
+type Fig5Set struct {
+	Params Fig5SetParams
+	Runs   []*Fig5Result
+}
+
+// RunFig5Set runs every configured Figure 5 variant.
+func RunFig5Set(p Fig5SetParams, opt RunOptions) (*Fig5Set, error) {
+	s := &Fig5Set{Params: p}
+	for _, rp := range p.Runs {
+		r, err := RunFig5(rp, opt)
+		if err != nil {
+			return nil, err
+		}
+		s.Runs = append(s.Runs, r)
+	}
+	return s, nil
+}
+
+// Tables implements Result: accuracy then runtime for each variant.
+func (s *Fig5Set) Tables() []*Table {
+	var ts []*Table
+	for _, r := range s.Runs {
+		ts = append(ts, r.Tables()...)
+	}
+	return ts
 }

@@ -3,6 +3,7 @@ package expt
 import (
 	"dctopo/internal/graph"
 	"dctopo/mcf"
+	"dctopo/obs"
 	"dctopo/topo"
 	"dctopo/traffic"
 	"dctopo/tub"
@@ -19,8 +20,11 @@ type Fig7Result struct {
 }
 
 // RunFig7 builds both topologies, routes the paper's worst-case TM with
-// the exact LP and returns the throughputs.
-func RunFig7() (*Fig7Result, error) {
+// the exact LP and returns the throughputs. The example is far too small
+// to parallelize or memoize; RunOptions contributes only the obs span.
+func RunFig7(opt RunOptions) (_ *Fig7Result, err error) {
+	_, rsp := opt.Obs.Start("expt.fig7")
+	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
 	ring := graph.NewBuilder(5)
 	for i := 0; i < 5; i++ {
 		ring.AddEdge(i, (i+1)%5)
@@ -80,3 +84,6 @@ func (r *Fig7Result) Table() *Table {
 	t.Add("bi-regular ring + 4 transit sw", r.BiTheta, "1")
 	return t
 }
+
+// Tables implements Result.
+func (r *Fig7Result) Tables() []*Table { return []*Table{r.Table()} }

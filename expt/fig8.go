@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dctopo/estimators"
+	"dctopo/obs"
 	"dctopo/topo"
 	"dctopo/tub"
 )
@@ -57,26 +58,72 @@ type Fig8Result struct {
 	Rows   []Fig8Row
 }
 
-// RunFig8 computes the full-throughput and full-BBW frontiers.
-func RunFig8(p Fig8Params) (*Fig8Result, error) {
+// fig8ProbeSizes lists the switch counts the scan visits: ~15% growth
+// per step between the bounds.
+func fig8ProbeSizes(minSwitches, maxSwitches int) []int {
+	var sizes []int
+	for n := minSwitches; n <= maxSwitches; n += max(1, n*3/20) {
+		sizes = append(sizes, n)
+	}
+	return sizes
+}
+
+// RunFig8 computes the full-throughput and full-BBW frontiers. The
+// (H, size) probes run concurrently on the Runner pool; each row reduces
+// its probes by max, so the frontier is identical for any worker count.
+// Probe topologies are built directly (not through the Memo): no other
+// experiment revisits them, and caching every probe of the scan would
+// pin hundreds of throwaway instances in memory.
+func RunFig8(p Fig8Params, opt RunOptions) (_ *Fig8Result, err error) {
+	sizes := fig8ProbeSizes(p.MinSwitches, p.MaxSwitches)
+	type probe struct {
+		servers         int
+		built, tub, bbw bool
+	}
+	jobs := len(p.Servers) * len(sizes)
+	ro, rsp := opt.Obs.Start("expt.fig8",
+		obs.String("family", string(p.Family)), obs.Int("jobs", jobs))
+	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
+	run := NewRunner(opt.Workers).Observe(ro, "fig8")
+	probes := make([]probe, jobs)
+	err = run.ForEach(jobs, func(i int) error {
+		h := p.Servers[i/len(sizes)]
+		n := sizes[i%len(sizes)]
+		jo, jsp := ro.Start("fig8.job", obs.Int("h", h), obs.Int("n", n))
+		defer jsp.End()
+		t, err := BuildObs(p.Family, n, p.Radix, h, p.Seed, jo)
+		if err != nil {
+			return nil // shape not constructible at this size
+		}
+		ub, err := tub.Bound(t, tub.Options{Obs: jo})
+		if err != nil {
+			return err
+		}
+		probes[i] = probe{
+			servers: t.NumServers(),
+			built:   true,
+			tub:     ub.Bound >= 1,
+			bbw:     estimators.Bisection(t, p.Seed).Full,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig8Result{Params: p}
-	for _, h := range p.Servers {
+	for hi, h := range p.Servers {
 		row := Fig8Row{H: h}
-		for n := p.MinSwitches; n <= p.MaxSwitches; n += max(1, n*3/20) {
-			t, err := Build(p.Family, n, p.Radix, h, p.Seed)
-			if err != nil {
-				continue // shape not constructible at this size
+		for si := range sizes {
+			pr := probes[hi*len(sizes)+si]
+			if !pr.built {
+				continue
 			}
 			row.Probes++
-			ub, err := tub.Bound(t, tub.Options{})
-			if err != nil {
-				return nil, err
+			if pr.tub && pr.servers > row.TUBFrontierN {
+				row.TUBFrontierN = pr.servers
 			}
-			if ub.Bound >= 1 && t.NumServers() > row.TUBFrontierN {
-				row.TUBFrontierN = t.NumServers()
-			}
-			if estimators.Bisection(t, p.Seed).Full && t.NumServers() > row.BBWFrontierN {
-				row.BBWFrontierN = t.NumServers()
+			if pr.bbw && pr.servers > row.BBWFrontierN {
+				row.BBWFrontierN = pr.servers
 			}
 		}
 		res.Rows = append(res.Rows, row)
@@ -97,6 +144,21 @@ func (r *Fig8Result) Table() *Table {
 	return t
 }
 
+// Tables implements Result.
+func (r *Fig8Result) Tables() []*Table { return []*Table{r.Table()} }
+
+// FatCliqueFrontierParams configures the Figure 8(c) scatter.
+type FatCliqueFrontierParams struct {
+	Radix, Servers           int
+	MinSwitches, MaxSwitches int
+	Seed                     uint64
+}
+
+// DefaultFatCliqueFrontier is the report-scale parameterization.
+func DefaultFatCliqueFrontier() FatCliqueFrontierParams {
+	return FatCliqueFrontierParams{Radix: 32, Servers: 10, MinSwitches: 60, MaxSwitches: 400, Seed: 1}
+}
+
 // FatCliqueFrontier reproduces Figure 8(c)'s scatter: every FatClique
 // shape at a given switch degree is classified as full-throughput,
 // BBW-only, or neither.
@@ -113,13 +175,15 @@ type FatCliqueShapeClass struct {
 	FullBBW bool
 }
 
-// RunFatCliqueFrontier classifies FatClique shapes between minSwitches
-// and maxSwitches. At most 48 shapes are evaluated (an even subsample of
+// RunFatCliqueFrontier classifies FatClique shapes between MinSwitches
+// and MaxSwitches. At most 48 shapes are evaluated (an even subsample of
 // the enumeration when it is larger), which is enough to show the
-// non-monotonic scatter of the paper's Figure 8(c).
-func RunFatCliqueFrontier(radix, servers, minSwitches, maxSwitches int, seed uint64) (*FatCliqueFrontier, error) {
-	res := &FatCliqueFrontier{Radix: radix, Servers: servers}
-	shapes := topo.FatCliqueShapes(radix-servers, minSwitches, maxSwitches)
+// non-monotonic scatter of the paper's Figure 8(c). Shapes classify
+// concurrently into index-addressed slots, so the scatter order matches
+// the enumeration for any worker count.
+func RunFatCliqueFrontier(p FatCliqueFrontierParams, opt RunOptions) (_ *FatCliqueFrontier, err error) {
+	res := &FatCliqueFrontier{Radix: p.Radix, Servers: p.Servers}
+	shapes := topo.FatCliqueShapes(p.Radix-p.Servers, p.MinSwitches, p.MaxSwitches)
 	const maxShapes = 48
 	if len(shapes) > maxShapes {
 		sampled := make([]topo.FatCliqueConfig, 0, maxShapes)
@@ -128,22 +192,38 @@ func RunFatCliqueFrontier(radix, servers, minSwitches, maxSwitches int, seed uin
 		}
 		shapes = sampled
 	}
-	for _, shape := range shapes {
-		shape.TotalServers = shape.Switches() * servers
+	ro, rsp := opt.Obs.Start("expt.fig8c", obs.Int("jobs", len(shapes)))
+	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
+	run := NewRunner(opt.Workers).Observe(ro, "fig8c")
+	classified := make([]*FatCliqueShapeClass, len(shapes))
+	err = run.ForEach(len(shapes), func(i int) error {
+		shape := shapes[i]
+		shape.TotalServers = shape.Switches() * p.Servers
+		jo, jsp := ro.Start("fig8c.job", obs.Int("switches", shape.Switches()))
+		defer jsp.End()
 		t, err := topo.FatClique(shape)
 		if err != nil {
-			continue
+			return nil // shape not constructible
 		}
-		ub, err := tub.Bound(t, tub.Options{})
+		ub, err := tub.Bound(t, tub.Options{Obs: jo})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Shapes = append(res.Shapes, FatCliqueShapeClass{
+		classified[i] = &FatCliqueShapeClass{
 			Config:  shape,
 			Servers: t.NumServers(),
 			TUB:     ub.Bound,
-			FullBBW: estimators.Bisection(t, seed).Full,
-		})
+			FullBBW: estimators.Bisection(t, p.Seed).Full,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range classified {
+		if c != nil {
+			res.Shapes = append(res.Shapes, *c)
+		}
 	}
 	return res, nil
 }
@@ -166,4 +246,63 @@ func (r *FatCliqueFrontier) Table() *Table {
 	}
 	t.Notes = append(t.Notes, "paper shape: non-monotonic — some larger shapes have full throughput while smaller ones do not (Fig. 8c)")
 	return t
+}
+
+// Tables implements Result.
+func (r *FatCliqueFrontier) Tables() []*Table { return []*Table{r.Table()} }
+
+// Fig8SetParams is the registry-level Figure 8 configuration: the
+// per-family frontier sweeps plus (optionally) the FatClique scatter.
+type Fig8SetParams struct {
+	Families  []Fig8Params
+	FatClique *FatCliqueFrontierParams
+}
+
+// DefaultFig8Set pairs the Jellyfish and Xpander frontiers with the
+// Figure 8(c) FatClique scatter, matching what the report renders.
+func DefaultFig8Set() Fig8SetParams {
+	fc := DefaultFatCliqueFrontier()
+	return Fig8SetParams{
+		Families:  []Fig8Params{DefaultFig8(FamilyJellyfish), DefaultFig8(FamilyXpander)},
+		FatClique: &fc,
+	}
+}
+
+// Fig8Set holds the per-family frontiers and the FatClique scatter.
+type Fig8Set struct {
+	Params    Fig8SetParams
+	Families  []*Fig8Result
+	FatClique *FatCliqueFrontier // nil when not configured
+}
+
+// RunFig8Set runs every configured Figure 8 piece.
+func RunFig8Set(p Fig8SetParams, opt RunOptions) (*Fig8Set, error) {
+	s := &Fig8Set{Params: p}
+	for _, fp := range p.Families {
+		r, err := RunFig8(fp, opt)
+		if err != nil {
+			return nil, err
+		}
+		s.Families = append(s.Families, r)
+	}
+	if p.FatClique != nil {
+		fc, err := RunFatCliqueFrontier(*p.FatClique, opt)
+		if err != nil {
+			return nil, err
+		}
+		s.FatClique = fc
+	}
+	return s, nil
+}
+
+// Tables implements Result: family frontiers in order, then the scatter.
+func (s *Fig8Set) Tables() []*Table {
+	var ts []*Table
+	for _, r := range s.Families {
+		ts = append(ts, r.Table())
+	}
+	if s.FatClique != nil {
+		ts = append(ts, s.FatClique.Table())
+	}
+	return ts
 }

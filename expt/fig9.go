@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"dctopo/estimators"
+	"dctopo/obs"
 	"dctopo/topo"
-	"dctopo/tub"
 )
 
 // Fig9Params configures the topology-cost experiment: the number of
@@ -46,19 +46,33 @@ type Fig9Result struct {
 	ClosServers  int
 }
 
+// fig9Families is the fixed family order of the cost comparison.
+var fig9Families = []Family{FamilyJellyfish, FamilyXpander, FamilyFatClique}
+
 // RunFig9 searches, for each uni-regular family, the largest H (fewest
 // switches) whose instance with ~N servers has each property, and
-// compares against the cheapest Clos deployment for N servers.
-func RunFig9(p Fig9Params) (*Fig9Result, error) {
-	res := &Fig9Result{Params: p}
-	for _, f := range []Family{FamilyJellyfish, FamilyXpander, FamilyFatClique} {
+// compares against the cheapest Clos deployment for N servers. The three
+// families search concurrently on the Runner pool (the H walk inside a
+// family is inherently sequential: it stops at the first success);
+// builds and bounds go through the Memo, so the report's other R=32
+// consumers of the same instances reuse them.
+func RunFig9(p Fig9Params, opt RunOptions) (_ *Fig9Result, err error) {
+	ro, rsp := opt.Obs.Start("expt.fig9", obs.Int("servers", p.Servers), obs.Int("radix", p.Radix))
+	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
+	memo := opt.memo(ro)
+	run := NewRunner(opt.Workers).Observe(ro, "fig9")
+	rows := make([]Fig9Row, len(fig9Families))
+	err = run.ForEach(len(fig9Families), func(i int) error {
+		f := fig9Families[i]
+		jo, jsp := ro.Start("fig9.job", obs.String("family", string(f)))
+		defer jsp.End()
 		row := Fig9Row{Name: string(f)}
 		for h := p.Radix / 2; h >= p.MinH; h-- {
 			if p.Radix-h < 2 {
 				continue
 			}
 			n := (p.Servers + h - 1) / h
-			t, err := Build(f, n, p.Radix, h, p.Seed)
+			t, err := memo.BuildTopo(f, n, p.Radix, h, p.Seed, jo)
 			if err != nil {
 				continue
 			}
@@ -66,9 +80,9 @@ func RunFig9(p Fig9Params) (*Fig9Result, error) {
 				row.SwitchesBBW, row.HBBW = t.NumSwitches(), h
 			}
 			if row.SwitchesTUB == 0 {
-				ub, err := tub.Bound(t, tub.Options{})
+				_, ub, err := memo.BuildBound(f, n, p.Radix, h, p.Seed, jo)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if ub.Bound >= 1 {
 					row.SwitchesTUB, row.HTUB = t.NumSwitches(), h
@@ -78,8 +92,13 @@ func RunFig9(p Fig9Params) (*Fig9Result, error) {
 				break
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res := &Fig9Result{Params: p, Rows: rows}
 	cl, err := topo.SmallestClosFor(p.Servers, p.Radix, 5)
 	if err != nil {
 		return nil, err
@@ -114,3 +133,6 @@ func (r *Fig9Result) Table() *Table {
 		"paper shape: full-throughput uni-regular instances need ~27-33% more switches than full-BBW ones, shrinking the cost advantage over Clos from ~1.8x to ~1.3x (Fig. 9)")
 	return t
 }
+
+// Tables implements Result.
+func (r *Fig9Result) Tables() []*Table { return []*Table{r.Table()} }

@@ -1,0 +1,270 @@
+package expt
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dctopo/obs"
+)
+
+// Result is what every experiment driver returns: one or more printable
+// tables plus, via the JSON marshaling of the concrete type, a
+// deterministic payload. The payload round-trips: unmarshaling it into
+// the same concrete type and calling Tables again renders byte-identical
+// tables, which is what lets the Store replay a cached run.
+type Result interface {
+	Tables() []*Table
+}
+
+// RunOptions is the uniform execution contract every driver accepts:
+// the worker-pool size for its sweep, an instrumentation handle, a Memo
+// for sharing expensive per-topology artifacts across drivers, and a
+// Store for persisting finished results. The zero value is valid — one
+// worker per core, no instrumentation, a private memo, no persistence —
+// and every field changes only cost, never results (the timing columns
+// of fig5 and the ablation aside).
+type RunOptions struct {
+	// Workers sizes the driver's worker pool (0 = GOMAXPROCS). Tables
+	// are identical for any worker count.
+	Workers int
+	// Obs, when non-nil, traces the run: an "expt.<id>" root span per
+	// driver, job spans, progress ticks and solver counters.
+	Obs *obs.Obs
+	// Memo, when non-nil, shares built topologies and TUB results across
+	// drivers (the report passes one Memo to every step). When nil each
+	// driver uses a private memo, so intra-run reuse still happens.
+	Memo *Memo
+	// Store, when non-nil, persists results; used by RunStored, ignored
+	// by the drivers themselves.
+	Store *Store
+}
+
+// memo returns the shared Memo, or a fresh driver-local one counting
+// into the given handle when the caller did not provide any.
+func (o RunOptions) memo(fallback *obs.Obs) *Memo {
+	if o.Memo != nil {
+		return o.Memo
+	}
+	return &Memo{Obs: fallback}
+}
+
+// Experiment is one registered table or figure of the paper's
+// evaluation: an identifier, a human title, the default parameter value
+// (JSON-marshalable; nil for parameterless drivers), and the runner.
+type Experiment struct {
+	// ID is the registry key, as accepted by `topobench expt <id>`.
+	ID string
+	// Title is a one-line description for `topobench expt -list`.
+	Title string
+	// Heavy marks the paper-scale demonstrations that only run under
+	// `topobench report -heavy` (minutes of compute).
+	Heavy bool
+	// Params is the default parameter struct the Run closure uses. Its
+	// canonical JSON participates in the Store's content address, so two
+	// binaries with different defaults never share a cache entry.
+	Params interface{}
+	// Run executes the experiment with the default parameters.
+	Run func(RunOptions) (Result, error)
+	// decode unmarshals a stored payload back into the concrete result
+	// type, so cached runs re-render without recomputation.
+	decode func([]byte) (Result, error)
+}
+
+// Decode rebuilds the concrete Result from a stored payload.
+func (e Experiment) Decode(payload []byte) (Result, error) { return e.decode(payload) }
+
+// Payload returns the deterministic JSON document for a result — what
+// `topobench expt -json` emits and the Store persists.
+func Payload(r Result) ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// decodeAs unmarshals a payload into *T, which must implement Result.
+func decodeAs[T any](b []byte) (Result, error) {
+	r := new(T)
+	if err := json.Unmarshal(b, r); err != nil {
+		return nil, err
+	}
+	res, ok := any(r).(Result)
+	if !ok {
+		return nil, fmt.Errorf("expt: %T does not implement Result", r)
+	}
+	return res, nil
+}
+
+// Compile-time checks that every registered concrete type satisfies
+// Result (decodeAs asserts only at runtime).
+var _ = []Result{
+	(*Fig3Result)(nil), (*Fig3Set)(nil), (*Fig4Result)(nil),
+	(*Fig5Result)(nil), (*Fig5Set)(nil), (*Fig7Result)(nil),
+	(*Fig8Result)(nil), (*FatCliqueFrontier)(nil), (*Fig8Set)(nil),
+	(*Fig9Result)(nil), (*Fig10Result)(nil),
+	(*Table3Result)(nil), (*TableA1Result)(nil), (*Table5Result)(nil),
+	(*FigA1Result)(nil), (*FigA2Result)(nil), (*FigA4Result)(nil),
+	(*FigA5Result)(nil), (*RoutingResult)(nil), (*AblationResult)(nil),
+	(*WedgeResult)(nil),
+}
+
+// Experiments returns every registered experiment in report order: the
+// laptop-scale steps first (the order `topobench report` renders them),
+// then the Heavy paper-scale demonstrations. This list is the single
+// source of truth for cmd/topobench's expt and report subcommands, the
+// usage string, and Report itself.
+func Experiments() []Experiment {
+	return []Experiment{
+		{
+			ID: "fig7", Title: "Figure 7: 5-switch worked example (worst-case permutation)",
+			Run:    func(opt RunOptions) (Result, error) { return RunFig7(opt) },
+			decode: decodeAs[Fig7Result],
+		},
+		{
+			ID: "tabA1", Title: "Table A.1: TUB on Clos is always 1.00",
+			Run:    func(opt RunOptions) (Result, error) { return RunTableA1(opt) },
+			decode: decodeAs[TableA1Result],
+		},
+		{
+			ID: "tab3", Title: "Table 3: closed-form scaling limits vs full-BBW probes",
+			Params: DefaultTable3(),
+			Run:    func(opt RunOptions) (Result, error) { return RunTable3(DefaultTable3(), opt) },
+			decode: decodeAs[Table3Result],
+		},
+		{
+			ID: "fig3", Title: "Figure 3: throughput gap TUB - KSP-MCF per family",
+			Params: DefaultFig3Set(),
+			Run:    func(opt RunOptions) (Result, error) { return RunFig3Set(DefaultFig3Set(), opt) },
+			decode: decodeAs[Fig3Set],
+		},
+		{
+			ID: "fig4", Title: "Figure 4: path diversity vs throughput gap",
+			Params: DefaultFig4(),
+			Run:    func(opt RunOptions) (Result, error) { return RunFig4(DefaultFig4(), opt) },
+			decode: decodeAs[Fig4Result],
+		},
+		{
+			ID: "fig5", Title: "Figure 5: estimator accuracy and runtime (default + large)",
+			Params: DefaultFig5Set(),
+			Run:    func(opt RunOptions) (Result, error) { return RunFig5Set(DefaultFig5Set(), opt) },
+			decode: decodeAs[Fig5Set],
+		},
+		{
+			ID: "fig8", Title: "Figure 8: full-throughput vs full-BBW frontier per family",
+			Params: DefaultFig8Set(),
+			Run:    func(opt RunOptions) (Result, error) { return RunFig8Set(DefaultFig8Set(), opt) },
+			decode: decodeAs[Fig8Set],
+		},
+		{
+			ID: "fig9", Title: "Figure 9: switches to support N servers, BBW vs TUB vs Clos",
+			Params: DefaultFig9(),
+			Run:    func(opt RunOptions) (Result, error) { return RunFig9(DefaultFig9(), opt) },
+			decode: decodeAs[Fig9Result],
+		},
+		{
+			ID: "figA1", Title: "Figure A.1: theoretical throughput gap (Thm 2.2 vs Thm 8.4)",
+			Params: DefaultFigA1(),
+			Run:    func(opt RunOptions) (Result, error) { return RunFigA1(DefaultFigA1(), opt) },
+			decode: decodeAs[FigA1Result],
+		},
+		{
+			ID: "figA2", Title: "Figures A.2/A.3: same-equipment cost comparisons",
+			Params: DefaultFigA2(),
+			Run:    func(opt RunOptions) (Result, error) { return RunFigA2(DefaultFigA2(), opt) },
+			decode: decodeAs[FigA2Result],
+		},
+		{
+			ID: "figA4", Title: "Figure A.4: expansion by random rewiring at fixed H",
+			Params: DefaultFigA4(),
+			Run:    func(opt RunOptions) (Result, error) { return RunFigA4(DefaultFigA4(), opt) },
+			decode: decodeAs[FigA4Result],
+		},
+		{
+			ID: "figA5", Title: "Figure A.5: throughput gap vs path budget K",
+			Params: DefaultFigA5(),
+			Run:    func(opt RunOptions) (Result, error) { return RunFigA5(DefaultFigA5(), opt) },
+			decode: decodeAs[FigA5Result],
+		},
+		{
+			ID: "routing", Title: "Routing benchmark (§6 extension): ECMP/VLB vs KSP-MCF vs TUB",
+			Params: DefaultRouting(),
+			Run:    func(opt RunOptions) (Result, error) { return RunRouting(DefaultRouting(), opt) },
+			decode: decodeAs[RoutingResult],
+		},
+		{
+			ID: "ablation", Title: "Ablations: maximal-permutation matcher and MCF backend",
+			Params: DefaultAblation(),
+			Run:    func(opt RunOptions) (Result, error) { return RunAblation(DefaultAblation(), opt) },
+			decode: decodeAs[AblationResult],
+		},
+		{
+			ID: "tab5", Title: "Table 5: over-subscription at N=32K, BBW-based vs throughput", Heavy: true,
+			Params: DefaultTable5(),
+			Run:    func(opt RunOptions) (Result, error) { return RunTable5(DefaultTable5(), opt) },
+			decode: decodeAs[Table5Result],
+		},
+		{
+			ID: "fig10", Title: "Figure 10: TUB under random link failures at N=32K", Heavy: true,
+			Params: DefaultFig10(),
+			Run:    func(opt RunOptions) (Result, error) { return RunFig10(DefaultFig10(), opt) },
+			decode: decodeAs[Fig10Result],
+		},
+		{
+			ID: "wedge", Title: "Figure 2 wedge: full BBW without full throughput at N=131K", Heavy: true,
+			Params: DefaultWedge(),
+			Run:    func(opt RunOptions) (Result, error) { return RunWedge(DefaultWedge(), opt) },
+			decode: decodeAs[WedgeResult],
+		},
+	}
+}
+
+// Lookup returns the registered experiment with the given id.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns every registered experiment id in report order.
+func IDs() []string {
+	exps := Experiments()
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// RunStored runs the experiment through the Store in opt: a stored
+// payload for (id, default params, store version) is decoded and
+// returned without recomputation; otherwise the experiment runs and its
+// payload is persisted. A payload that fails to decode (truncated file,
+// older incompatible field set) is treated as a miss and recomputed.
+// With a nil Store this is exactly e.Run(opt).
+func RunStored(e Experiment, opt RunOptions) (Result, error) {
+	if opt.Store == nil {
+		return e.Run(opt)
+	}
+	params, err := json.Marshal(e.Params)
+	if err != nil {
+		return nil, fmt.Errorf("expt: %s: marshal params: %w", e.ID, err)
+	}
+	if payload, ok := opt.Store.Get(e.ID, params); ok {
+		if r, err := e.Decode(payload); err == nil {
+			return r, nil
+		}
+		// Corrupt or incompatible payload: fall through and recompute.
+	}
+	r, err := e.Run(opt)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := Payload(r)
+	if err != nil {
+		return nil, fmt.Errorf("expt: %s: marshal result: %w", e.ID, err)
+	}
+	if err := opt.Store.Put(e.ID, params, payload); err != nil {
+		return nil, fmt.Errorf("expt: %s: store: %w", e.ID, err)
+	}
+	return r, nil
+}

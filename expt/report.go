@@ -16,24 +16,36 @@ type ReportOptions struct {
 	// 131K-server wedge of Figure 2, Table 5 and Figure 10 at N=32K);
 	// several minutes of single-core compute.
 	Heavy bool
+	// Only restricts the report to the named experiment ids (in registry
+	// order, Heavy flag ignored). Unknown ids are an error. Empty means
+	// all non-Heavy experiments (plus Heavy ones when Heavy is set).
+	Only []string
 	// Progress, when non-nil, receives one line per completed experiment.
 	Progress io.Writer
-	// Workers sizes the worker pools of the parallel sweeps (fig3, fig4,
-	// fig5, fig10, routing); 0 = GOMAXPROCS. Tables are identical for
-	// any worker count (fig5's runtime columns aside).
+	// Workers sizes the worker pools of the experiment sweeps; 0 =
+	// GOMAXPROCS. Tables are identical for any worker count (the timing
+	// columns of fig5 and the ablation aside).
 	Workers int
 	// Obs, when non-nil, is threaded into every instrumented sweep, so a
 	// trace or progress sink attached to it sees the whole report run.
 	Obs *obs.Obs
+	// Store, when non-nil, persists each experiment's result payload and
+	// replays completed steps on re-run: a repeated or interrupted report
+	// re-renders stored steps byte-identically without recomputation.
+	Store *Store
 	// Convergence, when non-nil, is rendered as an extra table at the end
 	// of the report. It only fills up if it is also registered as a sink
 	// on Obs (cmd/topobench wires this for `report -convergence`).
 	Convergence *ConvergenceRecorder
 }
 
-// Report runs every experiment with its default (laptop-scale) parameters
-// and writes the rendered tables to w. It is what `topobench report`
-// invokes and what EXPERIMENTS.md is generated from.
+// Report runs every registered experiment with its default
+// (laptop-scale) parameters and writes the rendered tables to w, in
+// registry order. One Memo is shared across all steps, so experiments
+// that visit the same instances (tab3/figA1/fig5-large, fig3/fig4/
+// routing/figA5) build and bound each exactly once per report. It is
+// what `topobench report` invokes and what EXPERIMENTS.md is generated
+// from.
 func Report(w io.Writer, opt ReportOptions) error {
 	emit := func(t *Table) {
 		if opt.Markdown {
@@ -47,198 +59,51 @@ func Report(w io.Writer, opt ReportOptions) error {
 			fmt.Fprintf(opt.Progress, format+"\n", args...)
 		}
 	}
+	only := make(map[string]bool, len(opt.Only))
+	for _, id := range opt.Only {
+		if _, ok := Lookup(id); !ok {
+			return fmt.Errorf("expt: unknown experiment %q (see `topobench expt -list`)", id)
+		}
+		only[id] = true
+	}
+	ropt := RunOptions{
+		Workers: opt.Workers,
+		Obs:     opt.Obs,
+		Memo:    &Memo{Obs: opt.Obs},
+		Store:   opt.Store,
+	}
 	// Results reused by the final conclusions table.
 	var fig9Res *Fig9Result
 	var a2Res *FigA2Result
 	var a4Res *FigA4Result
 	var fig10Res *Fig10Result
-
-	type step struct {
-		name string
-		run  func() error
-	}
-	steps := []step{
-		{"fig7", func() error {
-			r, err := RunFig7()
-			if err != nil {
-				return err
+	for _, e := range Experiments() {
+		if len(only) > 0 {
+			if !only[e.ID] {
+				continue
 			}
-			emit(r.Table())
-			return nil
-		}},
-		{"tableA1", func() error {
-			r, err := RunTableA1()
-			if err != nil {
-				return err
-			}
-			emit(r.Table())
-			return nil
-		}},
-		{"table3", func() error {
-			r, err := RunTable3(DefaultTable3())
-			if err != nil {
-				return err
-			}
-			emit(r.Table())
-			return nil
-		}},
-		{"fig3", func() error {
-			for _, f := range []Family{FamilyJellyfish, FamilyXpander, FamilyFatClique} {
-				p := DefaultFig3(f)
-				p.Workers, p.Obs = opt.Workers, opt.Obs
-				r, err := RunFig3(p)
-				if err != nil {
-					return err
-				}
-				emit(r.Table())
-			}
-			return nil
-		}},
-		{"fig4", func() error {
-			p := DefaultFig4()
-			p.Workers, p.Obs = opt.Workers, opt.Obs
-			r, err := RunFig4(p)
-			if err != nil {
-				return err
-			}
-			emit(r.Table())
-			return nil
-		}},
-		{"fig5", func() error {
-			p := DefaultFig5()
-			p.Workers, p.Obs = opt.Workers, opt.Obs
-			r, err := RunFig5(p)
-			if err != nil {
-				return err
-			}
-			emit(r.Table())
-			emit(r.TimeTable())
-			lp := LargeFig5()
-			lp.Workers, lp.Obs = opt.Workers, opt.Obs
-			large, err := RunFig5(lp)
-			if err != nil {
-				return err
-			}
-			emit(large.Table())
-			emit(large.TimeTable())
-			return nil
-		}},
-		{"fig8", func() error {
-			for _, f := range []Family{FamilyJellyfish, FamilyXpander} {
-				r, err := RunFig8(DefaultFig8(f))
-				if err != nil {
-					return err
-				}
-				emit(r.Table())
-			}
-			fc, err := RunFatCliqueFrontier(32, 10, 60, 400, 1)
-			if err != nil {
-				return err
-			}
-			emit(fc.Table())
-			return nil
-		}},
-		{"fig9", func() error {
-			r, err := RunFig9(DefaultFig9())
-			if err != nil {
-				return err
-			}
-			fig9Res = r
-			emit(r.Table())
-			return nil
-		}},
-		{"figA1", func() error {
-			r, err := RunFigA1(DefaultFigA1())
-			if err != nil {
-				return err
-			}
-			emit(r.Table())
-			return nil
-		}},
-		{"figA2", func() error {
-			r, err := RunFigA2(DefaultFigA2())
-			if err != nil {
-				return err
-			}
-			a2Res = r
-			emit(r.Table())
-			return nil
-		}},
-		{"figA4", func() error {
-			r, err := RunFigA4(DefaultFigA4())
-			if err != nil {
-				return err
-			}
-			a4Res = r
-			emit(r.Table())
-			return nil
-		}},
-		{"figA5", func() error {
-			r, err := RunFigA5(DefaultFigA5())
-			if err != nil {
-				return err
-			}
-			emit(r.Table())
-			return nil
-		}},
-		{"routing", func() error {
-			p := DefaultRouting()
-			p.Workers, p.Obs = opt.Workers, opt.Obs
-			r, err := RunRouting(p)
-			if err != nil {
-				return err
-			}
-			emit(r.Table())
-			return nil
-		}},
-		{"ablation", func() error {
-			r, err := RunAblation(DefaultAblation())
-			if err != nil {
-				return err
-			}
-			for _, tb := range r.Tables() {
-				emit(tb)
-			}
-			return nil
-		}},
-	}
-	if opt.Heavy {
-		steps = append(steps,
-			step{"table5 (N=32K)", func() error {
-				r, err := RunTable5(DefaultTable5())
-				if err != nil {
-					return err
-				}
-				emit(r.Table())
-				return nil
-			}},
-			step{"fig10 (N=32K)", func() error {
-				p := DefaultFig10()
-				p.Workers, p.Obs = opt.Workers, opt.Obs
-				r, err := RunFig10(p)
-				if err != nil {
-					return err
-				}
-				fig10Res = r
-				emit(r.Table())
-				return nil
-			}},
-			step{"figure2 wedge (N=131K)", func() error {
-				r, err := RunWedge(DefaultWedge())
-				if err != nil {
-					return err
-				}
-				emit(r.Table())
-				return nil
-			}},
-		)
-	}
-	for _, s := range steps {
-		start := time.Now()
-		if err := s.run(); err != nil {
-			return fmt.Errorf("expt: %s: %w", s.name, err)
+		} else if e.Heavy && !opt.Heavy {
+			continue
 		}
-		progress("%-24s %v", s.name, time.Since(start).Round(time.Millisecond))
+		start := time.Now()
+		r, err := RunStored(e, ropt)
+		if err != nil {
+			return fmt.Errorf("expt: %s: %w", e.ID, err)
+		}
+		switch v := r.(type) {
+		case *Fig9Result:
+			fig9Res = v
+		case *FigA2Result:
+			a2Res = v
+		case *FigA4Result:
+			a4Res = v
+		case *Fig10Result:
+			fig10Res = v
+		}
+		for _, tb := range r.Tables() {
+			emit(tb)
+		}
+		progress("%-24s %v", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	emit(Conclusions(fig9Res, a2Res, a4Res, fig10Res))
 	if opt.Convergence != nil && opt.Convergence.Solves() > 0 {

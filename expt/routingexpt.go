@@ -6,7 +6,6 @@ import (
 	"dctopo/mcf"
 	"dctopo/obs"
 	"dctopo/routing"
-	"dctopo/tub"
 )
 
 // RoutingParams configures the §6 extension experiment: how much of TUB
@@ -20,13 +19,6 @@ type RoutingParams struct {
 	Switches []int
 	K        int // paths for the KSP-MCF reference
 	Seed     uint64
-	// Workers sizes the sweep's worker pool (0 = GOMAXPROCS). Results
-	// are identical for any worker count.
-	Workers int
-	// Obs, when non-nil, traces the sweep (root span "expt.routing", one
-	// "routing.job" span per size point). Results are identical with or
-	// without it.
-	Obs *obs.Obs
 }
 
 // DefaultRouting compares on Jellyfish at MCF-able sizes.
@@ -59,20 +51,17 @@ type RoutingResult struct {
 // RunRouting measures achieved throughput per scheme on the maximal
 // permutation TM. The size points run concurrently on the Runner pool;
 // rows land in sweep order.
-func RunRouting(p RoutingParams) (_ *RoutingResult, err error) {
-	ro, rsp := p.Obs.Start("expt.routing", obs.Int("jobs", len(p.Switches)), obs.Int("k", p.K))
+func RunRouting(p RoutingParams, opt RunOptions) (_ *RoutingResult, err error) {
+	ro, rsp := opt.Obs.Start("expt.routing", obs.Int("jobs", len(p.Switches)), obs.Int("k", p.K))
 	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
-	run := NewRunner(p.Workers).Observe(ro, "routing")
+	memo := opt.memo(ro)
+	run := NewRunner(opt.Workers).Observe(ro, "routing")
 	inner := run.InnerWorkers(len(p.Switches))
 	rows := make([]RoutingRow, len(p.Switches))
 	err = run.ForEach(len(p.Switches), func(i int) error {
 		jo, jsp := ro.Start("routing.job", obs.Int("n", p.Switches[i]))
 		defer jsp.End()
-		t, err := BuildObs(p.Family, p.Switches[i], p.Radix, p.Servers, p.Seed, jo)
-		if err != nil {
-			return err
-		}
-		ub, err := tub.Bound(t, tub.Options{Obs: jo})
+		t, ub, err := memo.BuildBound(p.Family, p.Switches[i], p.Radix, p.Servers, p.Seed, jo)
 		if err != nil {
 			return err
 		}
@@ -121,3 +110,6 @@ func (r *RoutingResult) Table() *Table {
 	t.Notes = append(t.Notes, "paper context: §7 leaves the practical-routing-vs-TUB gap to future work; ECMP alone degrades on expanders while VLB is traffic-oblivious — hybrids [29] take the max")
 	return t
 }
+
+// Tables implements Result.
+func (r *RoutingResult) Tables() []*Table { return []*Table{r.Table()} }

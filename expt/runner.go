@@ -1,11 +1,14 @@
 package expt
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"dctopo/obs"
+	"dctopo/topo"
+	"dctopo/tub"
 )
 
 // Runner fans the independent jobs of an experiment sweep (one per
@@ -177,4 +180,45 @@ func (m *Memo) Do(key string, fn func() (interface{}, error)) (interface{}, erro
 	}
 	close(c.done)
 	return c.val, c.err
+}
+
+// buildKey names a uni-regular instance unambiguously: every parameter
+// that feeds the generator is in the key, so two experiments share a
+// cached build only when they would construct the identical topology.
+func buildKey(f Family, switches, radix, servers int, seed uint64) string {
+	return fmt.Sprintf("build|%s|n=%d|r=%d|h=%d|seed=%d", f, switches, radix, servers, seed)
+}
+
+// BuildTopo returns the memoized topology for a uni-regular instance,
+// building it on first request. Topologies are never mutated after
+// construction (Expand and WithLinkFailures both copy), so the shared
+// pointer is safe to hand to concurrent experiments.
+func (m *Memo) BuildTopo(f Family, switches, radix, servers int, seed uint64, o *obs.Obs) (*topo.Topology, error) {
+	v, err := m.Do(buildKey(f, switches, radix, servers, seed), func() (interface{}, error) {
+		return BuildObs(f, switches, radix, servers, seed, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*topo.Topology), nil
+}
+
+// BuildBound returns the memoized (topology, default-matcher TUB result)
+// pair for a uni-regular instance. The tub.Result is read-only after
+// Bound returns (Matrix, LowerBound and TheoreticalGap are pure), so it
+// too is shared safely. Bounds computed with non-default tub.Options
+// (e.g. the wedge's greedy matcher) must not go through this cache.
+func (m *Memo) BuildBound(f Family, switches, radix, servers int, seed uint64, o *obs.Obs) (*topo.Topology, *tub.Result, error) {
+	t, err := m.BuildTopo(f, switches, radix, servers, seed, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	key := fmt.Sprintf("tub|%s|n=%d|r=%d|h=%d|seed=%d", f, switches, radix, servers, seed)
+	v, err := m.Do(key, func() (interface{}, error) {
+		return tub.Bound(t, tub.Options{Obs: o})
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, v.(*tub.Result), nil
 }

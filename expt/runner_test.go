@@ -172,15 +172,13 @@ func TestFig3DeterministicAcrossWorkers(t *testing.T) {
 		Family: FamilyJellyfish, Radix: 8, Servers: []int{3, 4},
 		Switches: []int{12, 20}, K: 4, Seed: 1,
 	}
-	p.Workers = 1
-	ref, err := RunFig3(p)
+	ref, err := RunFig3(p, RunOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := ref.Table().String()
 	for _, w := range runnerWorkerCounts() {
-		p.Workers = w
-		r, err := RunFig3(p)
+		r, err := RunFig3(p, RunOptions{Workers: w})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -197,15 +195,13 @@ func TestFig10DeterministicAcrossWorkers(t *testing.T) {
 		Family: FamilyJellyfish, Radix: 12, Servers: 4,
 		SizeList: []int{160, 240}, Fractions: []float64{0.1, 0.2}, Seed: 1,
 	}
-	p.Workers = 1
-	ref, err := RunFig10(p)
+	ref, err := RunFig10(p, RunOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := ref.Table().String()
 	for _, w := range runnerWorkerCounts() {
-		p.Workers = w
-		r, err := RunFig10(p)
+		r, err := RunFig10(p, RunOptions{Workers: w})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -222,20 +218,56 @@ func TestRoutingDeterministicAcrossWorkers(t *testing.T) {
 		Family: FamilyJellyfish, Radix: 8, Servers: 3,
 		Switches: []int{12, 20}, K: 4, Seed: 1,
 	}
-	p.Workers = 1
-	ref, err := RunRouting(p)
+	ref, err := RunRouting(p, RunOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := ref.Table().String()
 	for _, w := range runnerWorkerCounts() {
-		p.Workers = w
-		r, err := RunRouting(p)
+		r, err := RunRouting(p, RunOptions{Workers: w})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if got := r.Table().String(); got != want {
 			t.Fatalf("workers=%d table differs:\n%s\nvs\n%s", w, got, want)
 		}
+	}
+}
+
+// TestSharedMemoAcrossExperiments: fig9 at N=96/R=12 probes the
+// jellyfish 16-switch H=6 instance first; figA4 at InitN=96/H=6 starts
+// from the same instance. One Memo shared across both drivers must
+// serve figA4's build and bound from fig9's entries — and change no
+// output byte relative to memo-less runs.
+func TestSharedMemoAcrossExperiments(t *testing.T) {
+	p9 := Fig9Params{Servers: 96, Radix: 12, MinH: 2, Seed: 1}
+	pa4 := FigA4Params{Radix: 12, Servers: []int{6}, InitN: 96, MaxRatio: 1.5, Step: 0.25, Seed: 1}
+	ref9, err := RunFig9(p9, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refA4, err := RunFigA4(pa4, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	memo := &Memo{Obs: o}
+	r9, err := RunFig9(p9, RunOptions{Memo: memo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := o.Counter("expt.memo.hits").Value()
+	rA4, err := RunFigA4(pa4, RunOptions{Memo: memo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := o.Counter("expt.memo.hits").Value(); after <= before {
+		t.Errorf("figA4 reused nothing from fig9's memo (hits %d -> %d)", before, after)
+	}
+	if got, want := r9.Table().String(), ref9.Table().String(); got != want {
+		t.Errorf("shared-memo fig9 differs:\n%s\nvs\n%s", got, want)
+	}
+	if got, want := rA4.Table().String(), refA4.Table().String(); got != want {
+		t.Errorf("shared-memo figA4 differs:\n%s\nvs\n%s", got, want)
 	}
 }

@@ -1,0 +1,120 @@
+package expt
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"dctopo/obs"
+)
+
+// storeVersion is baked into every content address. Bump it whenever a
+// Result type's JSON shape changes incompatibly: old cache directories
+// then read as misses instead of decoding garbage.
+const storeVersion = 1
+
+// Store is a content-addressed on-disk cache of experiment payloads.
+// The address is sha256 over (store version, experiment ID, canonical
+// params JSON), so a cache entry is valid exactly as long as the
+// experiment it names would recompute the same thing; any change to the
+// defaults or the format keys a different file. Entries are written
+// atomically (temp file + rename), which is what makes an interrupted
+// `report -heavy -cache DIR` resumable: completed steps re-read from
+// disk, the interrupted one recomputes from scratch.
+//
+// A nil *Store is a valid no-op receiver: Get always misses without
+// counting, Put discards.
+type Store struct {
+	dir          string
+	obs          *obs.Obs
+	hits, misses atomic.Int64
+}
+
+// NewStore returns a store rooted at dir. The directory is created
+// lazily on first Put. Hits and misses are counted on the handle's
+// "expt.store.hits"/"expt.store.misses" counters as well as on the
+// Store itself.
+func NewStore(dir string, o *obs.Obs) *Store {
+	return &Store{dir: dir, obs: o}
+}
+
+// Dir returns the root directory of the store.
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// key returns the full content address for (id, params).
+func (s *Store) key(id string, params []byte) string {
+	sum := sha256.Sum256(fmt.Appendf(nil, "v%d|%s|%s", storeVersion, id, params))
+	return hex.EncodeToString(sum[:])
+}
+
+// Path returns the file an entry for (id, params) lives at. The name
+// leads with the experiment ID so a cache directory is browsable; the
+// key prefix keeps distinct params distinct.
+func (s *Store) Path(id string, params []byte) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s-%s.json", id, s.key(id, params)[:16]))
+}
+
+// Get returns the stored payload for (id, params), if any.
+func (s *Store) Get(id string, params []byte) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	b, err := os.ReadFile(s.Path(id, params))
+	if err != nil {
+		s.misses.Add(1)
+		s.obs.Counter("expt.store.misses").Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	s.obs.Counter("expt.store.hits").Add(1)
+	return b, true
+}
+
+// Put persists a payload for (id, params), atomically replacing any
+// existing entry.
+func (s *Store) Put(id string, params, payload []byte) error {
+	if s == nil {
+		return nil
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, ".store-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), s.Path(id, params))
+}
+
+// Hits returns how many Gets found a stored payload.
+func (s *Store) Hits() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.hits.Load()
+}
+
+// Misses returns how many Gets found nothing.
+func (s *Store) Misses() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.misses.Load()
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"dctopo/estimators"
+	"dctopo/obs"
 	"dctopo/topo"
 	"dctopo/tub"
 )
@@ -51,28 +52,47 @@ type Table3Result struct {
 }
 
 // RunTable3 evaluates the closed-form Equation 3 limit and probes
-// Jellyfish instances for full bisection bandwidth.
-func RunTable3(p Table3Params) (*Table3Result, error) {
+// Jellyfish instances for full bisection bandwidth. The (H, probe size)
+// grid runs concurrently on the Runner pool; rows reduce by max, so the
+// table is identical for any worker count. Probe builds go through the
+// Memo — figA1 and the large Figure 5 sweep visit the same R=32
+// Jellyfish instances in a shared-memo report.
+func RunTable3(p Table3Params, opt RunOptions) (_ *Table3Result, err error) {
+	jobs := len(p.Servers) * len(p.BBWProbeSwitches)
+	ro, rsp := opt.Obs.Start("expt.tab3", obs.Int("jobs", jobs))
+	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
+	memo := opt.memo(ro)
+	run := NewRunner(opt.Workers).Observe(ro, "tab3")
+	full := make([]bool, jobs)
+	err = run.ForEach(jobs, func(i int) error {
+		h := p.Servers[i/len(p.BBWProbeSwitches)]
+		sw := p.BBWProbeSwitches[i%len(p.BBWProbeSwitches)]
+		jo, jsp := ro.Start("tab3.job", obs.Int("h", h), obs.Int("switches", sw))
+		defer jsp.End()
+		t, err := memo.BuildTopo(FamilyJellyfish, sw, p.Radix, h, p.Seed, jo)
+		if err != nil {
+			return err
+		}
+		full[i] = estimators.Bisection(t, p.Seed).Full
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Table3Result{Params: p}
-	for _, h := range p.Servers {
+	for hi, h := range p.Servers {
 		row := Table3Row{H: h}
 		n, err := tub.MaxServersEq3(p.Radix, h, p.MaxN)
 		if err != nil {
 			return nil, err
 		}
 		row.MaxNEq3 = n
-		for _, sw := range p.BBWProbeSwitches {
-			t, err := topo.Jellyfish(topo.JellyfishConfig{Switches: sw, Radix: p.Radix, Servers: h, Seed: p.Seed})
-			if err != nil {
-				return nil, err
-			}
+		for si, sw := range p.BBWProbeSwitches {
 			if sw*h > row.BBWProbeN {
 				row.BBWProbeN = sw * h
 			}
-			if estimators.Bisection(t, p.Seed).Full {
-				if sw*h > row.BBWFullAtN {
-					row.BBWFullAtN = sw * h
-				}
+			if full[hi*len(p.BBWProbeSwitches)+si] && sw*h > row.BBWFullAtN {
+				row.BBWFullAtN = sw * h
 			}
 		}
 		res.Rows = append(res.Rows, row)
@@ -97,6 +117,9 @@ func (r *Table3Result) Table() *Table {
 	return t
 }
 
+// Tables implements Result.
+func (r *Table3Result) Tables() []*Table { return []*Table{r.Table()} }
+
 // TableA1Result reproduces Table A.1: TUB is 1 for Clos at several sizes.
 type TableA1Result struct {
 	Rows []TableA1Row
@@ -113,27 +136,38 @@ type TableA1Row struct {
 // RunTableA1 evaluates TUB on scaled Clos deployments (the paper's exact
 // instances have 1.3K–28K switches; radix 16 keeps the same layer/pod
 // structure at laptop scale, and a paper-scale row is included since TUB
-// on Clos is cheap).
-func RunTableA1() (*TableA1Result, error) {
+// on Clos is cheap). The four instances evaluate concurrently into
+// index-addressed slots.
+func RunTableA1(opt RunOptions) (_ *TableA1Result, err error) {
 	cases := []topo.ClosConfig{
 		{Radix: 8, Layers: 3},
 		{Radix: 16, Layers: 3},
 		{Radix: 16, Layers: 4, Pods: 4},
 		{Radix: 32, Layers: 3}, // paper row: N=8192, 1280 switches
 	}
-	res := &TableA1Result{}
-	for _, cfg := range cases {
+	ro, rsp := opt.Obs.Start("expt.tabA1", obs.Int("jobs", len(cases)))
+	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
+	run := NewRunner(opt.Workers).Observe(ro, "tabA1")
+	rows := make([]TableA1Row, len(cases))
+	err = run.ForEach(len(cases), func(i int) error {
+		cfg := cases[i]
+		jo, jsp := ro.Start("tabA1.job", obs.Int("radix", cfg.Radix), obs.Int("layers", cfg.Layers))
+		defer jsp.End()
 		t, err := topo.Clos(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ub, err := tub.Bound(t, tub.Options{})
+		ub, err := tub.Bound(t, tub.Options{Obs: jo})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, TableA1Row{cfg, t.NumServers(), t.NumSwitches(), ub.Bound})
+		rows[i] = TableA1Row{cfg, t.NumServers(), t.NumSwitches(), ub.Bound}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &TableA1Result{Rows: rows}, nil
 }
 
 // Table renders the result.
@@ -151,6 +185,9 @@ func (r *TableA1Result) Table() *Table {
 	}
 	return t
 }
+
+// Tables implements Result.
+func (r *TableA1Result) Tables() []*Table { return []*Table{r.Table()} }
 
 // Table5Params configures the Table 5 reproduction: BBW-based vs
 // throughput-based over-subscription ratios on fixed-size instances.
@@ -193,40 +230,58 @@ type Table5Result struct {
 }
 
 // RunTable5 builds one instance per family plus a Clos and reports both
-// over-subscription metrics.
-func RunTable5(p Table5Params) (*Table5Result, error) {
-	res := &Table5Result{Params: p}
-	for _, f := range []Family{FamilyJellyfish, FamilyXpander, FamilyFatClique} {
+// over-subscription metrics. The four instances run concurrently into
+// index-addressed slots; family builds go through the Memo.
+func RunTable5(p Table5Params, opt RunOptions) (_ *Table5Result, err error) {
+	families := []Family{FamilyJellyfish, FamilyXpander, FamilyFatClique}
+	ro, rsp := opt.Obs.Start("expt.tab5", obs.Int("servers", p.Servers))
+	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
+	memo := opt.memo(ro)
+	run := NewRunner(opt.Workers).Observe(ro, "tab5")
+	rows := make([]Table5Row, len(families)+1)
+	err = run.ForEach(len(families)+1, func(i int) error {
+		if i == len(families) { // the Clos comparison row
+			jo, jsp := ro.Start("tab5.job", obs.String("family", "clos"))
+			defer jsp.End()
+			cl, err := topo.SmallestClosFor(p.Servers, p.Radix, 5)
+			if err != nil {
+				return err
+			}
+			ct, err := topo.Clos(cl.Config)
+			if err != nil {
+				return err
+			}
+			row, err := table5Row("clos", ct, p.Seed, jo)
+			if err != nil {
+				return err
+			}
+			rows[i] = *row
+			return nil
+		}
+		f := families[i]
+		jo, jsp := ro.Start("tab5.job", obs.String("family", string(f)))
+		defer jsp.End()
 		h := p.PerSw[f]
-		t, err := Build(f, p.Servers/h, p.Radix, h, p.Seed)
+		t, err := memo.BuildTopo(f, p.Servers/h, p.Radix, h, p.Seed, jo)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row, err := table5Row(string(f), t, p.Seed)
+		row, err := table5Row(string(f), t, p.Seed, jo)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, *row)
-	}
-	cl, err := topo.SmallestClosFor(p.Servers, p.Radix, 5)
+		rows[i] = *row
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	ct, err := topo.Clos(cl.Config)
-	if err != nil {
-		return nil, err
-	}
-	row, err := table5Row("clos", ct, p.Seed)
-	if err != nil {
-		return nil, err
-	}
-	res.Rows = append(res.Rows, *row)
-	return res, nil
+	return &Table5Result{Params: p, Rows: rows}, nil
 }
 
-func table5Row(name string, t *topo.Topology, seed uint64) (*Table5Row, error) {
+func table5Row(name string, t *topo.Topology, seed uint64, o *obs.Obs) (*Table5Row, error) {
 	bbw := estimators.Bisection(t, seed)
-	ub, err := tub.Bound(t, tub.Options{})
+	ub, err := tub.Bound(t, tub.Options{Obs: o})
 	if err != nil {
 		return nil, err
 	}
@@ -252,3 +307,6 @@ func (r *Table5Result) Table() *Table {
 	t.Notes = append(t.Notes, "paper shape: for uni-regular topologies the throughput-based over-subscription is strictly lower than the BBW-based one; for Clos they coincide (Table 5)")
 	return t
 }
+
+// Tables implements Result.
+func (r *Table5Result) Tables() []*Table { return []*Table{r.Table()} }

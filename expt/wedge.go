@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dctopo/estimators"
+	"dctopo/obs"
 	"dctopo/tub"
 )
 
@@ -40,16 +41,22 @@ type WedgeResult struct {
 	Eq3Limit int64 // closed-form Table 3 frontier for (R, H)
 }
 
-// RunWedge builds the instance and evaluates both metrics.
-func RunWedge(p WedgeParams) (*WedgeResult, error) {
-	t, err := Build(p.Family, p.N/p.Servers, p.Radix, p.Servers, p.Seed)
+// RunWedge builds the instance and evaluates both metrics. The single
+// instance builds through the Memo; the greedy bound is computed
+// directly (the Memo's bound cache holds default-matcher results only,
+// and a greedy ratio must never answer a default-matcher request).
+func RunWedge(p WedgeParams, opt RunOptions) (_ *WedgeResult, err error) {
+	ro, rsp := opt.Obs.Start("expt.wedge", obs.Int("n", p.N))
+	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
+	memo := opt.memo(ro)
+	t, err := memo.BuildTopo(p.Family, p.N/p.Servers, p.Radix, p.Servers, p.Seed, ro)
 	if err != nil {
 		return nil, err
 	}
 	// Greedy matcher: its permutation total is <= the maximum, so the
 	// resulting ratio is >= the true TUB; observing ratio < 1 certifies
 	// that the true TUB < 1 as well.
-	ub, err := tub.Bound(t, tub.Options{Matcher: tub.GreedyMatcher})
+	ub, err := tub.Bound(t, tub.Options{Matcher: tub.GreedyMatcher, Obs: ro})
 	if err != nil {
 		return nil, err
 	}
@@ -88,3 +95,6 @@ func (r *WedgeResult) Table() *Table {
 	t.Notes = append(t.Notes, "paper claim (Fig. 2, §4): beyond a certain size, uni-regular topologies keep full BBW yet lose full throughput")
 	return t
 }
+
+// Tables implements Result.
+func (r *WedgeResult) Tables() []*Table { return []*Table{r.Table()} }

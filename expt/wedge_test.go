@@ -12,7 +12,7 @@ func TestRunWedgeSmallScale(t *testing.T) {
 	// not asserted (the wedge needs large radix, demonstrated in the
 	// heavy run).
 	p := WedgeParams{Family: FamilyJellyfish, Radix: 16, Servers: 5, N: 600, Seed: 1}
-	r, err := RunWedge(p)
+	r, err := RunWedge(p, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestRunRoutingSmall(t *testing.T) {
 		Family: FamilyJellyfish, Radix: 8, Servers: 3,
 		Switches: []int{16, 24}, K: 4, Seed: 1,
 	}
-	r, err := RunRouting(p)
+	r, err := RunRouting(p, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,14 +57,14 @@ func TestRunRoutingSmall(t *testing.T) {
 func TestReportLightweightSteps(t *testing.T) {
 	// Running the full Report in a unit test is too slow; instead verify
 	// the cheap steps it is built from render through the same emit path.
-	r7, err := RunFig7()
+	r7, err := RunFig7(RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if md := r7.Table().Markdown(); !strings.Contains(md, "Figure 7") {
 		t.Error("markdown rendering broken")
 	}
-	ra1, err := RunTableA1()
+	ra1, err := RunTableA1(RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestReportLightweightSteps(t *testing.T) {
 
 func TestRunAblationSmall(t *testing.T) {
 	p := AblationParams{Radix: 10, Servers: 4, Switches: 40, MCFSwitches: 16, K: 4, Seed: 1}
-	r, err := RunAblation(p)
+	r, err := RunAblation(p, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
