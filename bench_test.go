@@ -235,6 +235,53 @@ func BenchmarkGKParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkMaxConcurrentFlow compares the Garg–Könemann scan kernels:
+// the retained full re-summation baseline (ScanSimple) against the
+// production incremental scan (ScanIncremental). Both produce
+// bit-identical solutions; θ is reported so that guarantee stays visible
+// in the metrics.
+//
+// Two regimes. "dense" is the BenchmarkGKParallel instance — a full
+// permutation TM, where every round touches most edges, almost every
+// cached path sum goes stale, and the incremental kernel deliberately
+// degenerates to the simple scan (parity is the expected result).
+// "sparse" routes a subsampled permutation (64 demand pairs) over a
+// 1000-switch fabric — the ground-truth-at-scale regime the incremental
+// scan targets, where a round touches a sliver of the edges and nearly
+// every path sum is reused instead of re-summed.
+func BenchmarkMaxConcurrentFlow(b *testing.B) {
+	dense := benchTopology(b, 100, 12, 5)
+	denseTM := traffic.RandomPermutation(dense, 1)
+	sparse := benchTopology(b, 1000, 14, 7)
+	sparseTM := &traffic.Matrix{Switches: sparse.NumSwitches(), Demands: traffic.RandomPermutation(sparse, 1).Demands[:64]}
+	cases := []struct {
+		name  string
+		t     *topo.Topology
+		tm    *traffic.Matrix
+		k     int
+		scans []mcf.Scan
+	}{
+		{"dense", dense, denseTM, 12, []mcf.Scan{mcf.ScanSimple, mcf.ScanIncremental}},
+		{"sparse", sparse, sparseTM, 12, []mcf.Scan{mcf.ScanSimple, mcf.ScanIncremental}},
+	}
+	for _, c := range cases {
+		paths := mcf.KShortest(c.t, c.tm, c.k)
+		for _, scan := range c.scans {
+			b.Run(c.name+"/scan="+scan.String(), func(b *testing.B) {
+				theta := 0.0
+				for i := 0; i < b.N; i++ {
+					d, err := mcf.MaxConcurrentFlow(c.t, c.tm, paths, mcf.Options{Eps: 0.03, Workers: 1, Scan: scan})
+					if err != nil {
+						b.Fatal(err)
+					}
+					theta = d.Theta
+				}
+				b.ReportMetric(theta, "theta")
+			})
+		}
+	}
+}
+
 // BenchmarkFig3ThroughputGapParallel is BenchmarkFig3ThroughputGap swept
 // over worker counts: the end-to-end KSP-MCF-bound sweep whose speedup
 // the parallel pipeline targets. θ of the last row is reported so the

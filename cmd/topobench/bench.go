@@ -13,7 +13,9 @@ import (
 
 	"dctopo/internal/graph"
 
+	"dctopo/mcf"
 	"dctopo/topo"
+	"dctopo/traffic"
 	"dctopo/tub"
 )
 
@@ -62,14 +64,61 @@ type kspBenchReport struct {
 	Speedup map[string]float64 `json:"speedup"`
 }
 
+// gkBenchEntry is one benchmark record of BENCH_gk.json: a Garg–
+// Könemann scan-kernel run on one Jellyfish instance.
+type gkBenchEntry struct {
+	Name        string  `json:"name"`
+	Switches    int     `json:"switches"`
+	Demands     int     `json:"demands"`
+	K           int     `json:"k"`
+	Eps         float64 `json:"eps"`
+	Kernel      string  `json:"kernel"`
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  int64   `json:"b_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	Theta       float64 `json:"theta"`
+}
+
+// gkBenchReport is the BENCH_gk.json document.
+type gkBenchReport struct {
+	Benchmark  string         `json:"benchmark"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Entries    []gkBenchEntry `json:"entries"`
+	// Speedup maps "switches=N" to simple/incremental wall-clock ratio.
+	Speedup map[string]float64 `json:"speedup"`
+}
+
+// matchBenchEntry is one benchmark record of BENCH_matching.json: a TUB
+// bound computation with one matcher on one Jellyfish instance.
+type matchBenchEntry struct {
+	Name        string  `json:"name"`
+	Switches    int     `json:"switches"`
+	Matcher     string  `json:"matcher"`
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  int64   `json:"b_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	WeightedLen int64   `json:"weighted_len"`
+}
+
+// matchBenchReport is the BENCH_matching.json document.
+type matchBenchReport struct {
+	Benchmark  string            `json:"benchmark"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Entries    []matchBenchEntry `json:"entries"`
+	// Speedup maps "switches=N" to exact/auction wall-clock ratio.
+	Speedup map[string]float64 `json:"speedup"`
+}
+
 // cmdBench runs the kernel benchmarks and writes the machine-readable
 // JSON consumed by the CI perf-tracking artifacts: the "msbfs" case
-// (bit-parallel multi-source BFS vs the scalar baseline, BENCH_msbfs.json)
-// and the "ksp" case (goal-directed Yen kernel vs the simple baseline,
-// BENCH_ksp.json).
+// (bit-parallel multi-source BFS vs the scalar baseline, BENCH_msbfs.json),
+// the "ksp" case (goal-directed Yen kernel vs the simple baseline,
+// BENCH_ksp.json), the "gk" case (incremental Garg–Könemann scan vs the
+// simple baseline, BENCH_gk.json), and the "matching" case (sharded
+// auction vs Jonker–Volgenant on the TUB bound, BENCH_matching.json).
 func cmdBench(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	cases := fs.String("cases", "msbfs,ksp", "comma-separated benchmark cases to run (msbfs, ksp)")
+	cases := fs.String("cases", "msbfs,ksp,gk,matching", "comma-separated benchmark cases to run (msbfs, ksp, gk, matching)")
 	sizes := fs.String("sizes", "1024,2048,4096", "comma-separated Jellyfish switch counts (msbfs case)")
 	radix := fs.Int("radix", 16, "switch radix")
 	servers := fs.Int("servers", 4, "servers per switch")
@@ -78,6 +127,13 @@ func cmdBench(w io.Writer, args []string) error {
 	kspSwitches := fs.Int("ksp-switches", 1024, "Jellyfish switch count for the ksp case")
 	kspK := fs.Int("ksp-k", 8, "paths per pair for the ksp case")
 	kspPairs := fs.Int("ksp-pairs", 64, "pairs measured per op in the ksp case")
+	gkOut := fs.String("gk-o", "BENCH_gk.json", "gk output JSON path (- for stdout)")
+	gkSwitches := fs.Int("gk-switches", 1000, "Jellyfish switch count for the gk case")
+	gkDemands := fs.Int("gk-demands", 64, "demands kept from the random permutation in the gk case")
+	gkK := fs.Int("gk-k", 12, "paths per demand for the gk case")
+	gkEps := fs.Float64("gk-eps", 0.03, "FPTAS epsilon for the gk case")
+	matchOut := fs.String("matching-o", "BENCH_matching.json", "matching output JSON path (- for stdout)")
+	matchSwitches := fs.Int("matching-switches", 1000, "Jellyfish switch count for the matching case")
 	var rf runFlags
 	rf.register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -86,7 +142,9 @@ func cmdBench(w io.Writer, args []string) error {
 	if err := checkPositive(
 		intFlag{"radix", *radix}, intFlag{"servers", *servers},
 		intFlag{"ksp-switches", *kspSwitches}, intFlag{"ksp-k", *kspK},
-		intFlag{"ksp-pairs", *kspPairs},
+		intFlag{"ksp-pairs", *kspPairs}, intFlag{"gk-switches", *gkSwitches},
+		intFlag{"gk-demands", *gkDemands}, intFlag{"gk-k", *gkK},
+		intFlag{"matching-switches", *matchSwitches},
 	); err != nil {
 		return err
 	}
@@ -106,9 +164,13 @@ func cmdBench(w io.Writer, args []string) error {
 			err = benchMSBFS(w, *sizes, *radix, *servers, *out)
 		case "ksp":
 			err = benchKSP(w, *kspSwitches, *radix, *servers, *kspK, *kspPairs, *kspOut)
+		case "gk":
+			err = benchGK(w, *gkSwitches, *radix, *servers, *gkDemands, *gkK, *gkEps, *gkOut)
+		case "matching":
+			err = benchMatching(w, *matchSwitches, *radix, *servers, *matchOut)
 		case "":
 		default:
-			err = fmt.Errorf("unknown bench case %q (want msbfs or ksp)", c)
+			err = fmt.Errorf("unknown bench case %q (want msbfs, ksp, gk, or matching)", c)
 		}
 		if err != nil {
 			return err
@@ -244,6 +306,161 @@ func benchKSP(w io.Writer, switches, radix, servers, k, pairs int, out string) e
 			switches, kr.name, nsOp/1e6, r.Extra["paths/s"])
 	}
 	rep.Speedup[fmt.Sprintf("switches=%d", switches)] = perKernel[1] / perKernel[0]
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		_, err = w.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (%d entries)\n", out, len(rep.Entries))
+	return nil
+}
+
+// benchGK measures the Garg–Könemann scan kernels (incremental vs the
+// simple baseline) on a subsampled permutation matrix over one Jellyfish
+// instance and writes the BENCH_gk.json document. The kernels are
+// bit-identical; the report records θ from each as evidence.
+func benchGK(w io.Writer, switches, radix, servers, demands, k int, eps float64, out string) error {
+	t, err := topo.Jellyfish(topo.JellyfishConfig{Switches: switches, Radix: radix, Servers: servers, Seed: 1})
+	if err != nil {
+		return err
+	}
+	tm := traffic.RandomPermutation(t, 1)
+	if demands < len(tm.Demands) {
+		tm = &traffic.Matrix{Switches: tm.Switches, Demands: tm.Demands[:demands]}
+	}
+	paths := mcf.KShortest(t, tm, k)
+	rep := gkBenchReport{
+		Benchmark:  "MaxConcurrentFlow/jellyfish",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Speedup:    map[string]float64{},
+	}
+	var perKernel [2]float64
+	for ki, kr := range []struct {
+		name string
+		scan mcf.Scan
+	}{
+		{"incremental", mcf.ScanIncremental},
+		{"simple", mcf.ScanSimple},
+	} {
+		var theta float64
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				th, err := mcf.Throughput(t, tm, paths, mcf.Options{
+					Method: mcf.Approx, Eps: eps, Workers: 1, Scan: kr.scan,
+				})
+				if err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+				theta = th
+			}
+		})
+		if benchErr != nil {
+			return benchErr
+		}
+		nsOp := float64(r.NsPerOp())
+		perKernel[ki] = nsOp
+		rep.Entries = append(rep.Entries, gkBenchEntry{
+			Name:        fmt.Sprintf("BenchmarkMaxConcurrentFlow/switches=%d/kernel=%s", switches, kr.name),
+			Switches:    switches,
+			Demands:     len(tm.Demands),
+			K:           k,
+			Eps:         eps,
+			Kernel:      kr.name,
+			NsPerOp:     nsOp,
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Theta:       theta,
+		})
+		fmt.Fprintf(os.Stderr, "gk switches=%d kernel=%s: %.2f ms/op, theta=%.6f\n",
+			switches, kr.name, nsOp/1e6, theta)
+	}
+	rep.Speedup[fmt.Sprintf("switches=%d", switches)] = perKernel[1] / perKernel[0]
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		_, err = w.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (%d entries)\n", out, len(rep.Entries))
+	return nil
+}
+
+// benchMatching measures the TUB bound under the sharded auction matcher
+// against the Jonker–Volgenant exact matcher on one Jellyfish instance
+// and writes the BENCH_matching.json document. Both matchers are exact:
+// the recorded WeightedLen values must agree.
+func benchMatching(w io.Writer, switches, radix, servers int, out string) error {
+	t, err := topo.Jellyfish(topo.JellyfishConfig{Switches: switches, Radix: radix, Servers: servers, Seed: 1})
+	if err != nil {
+		return err
+	}
+	rep := matchBenchReport{
+		Benchmark:  "TUBBound/jellyfish",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Speedup:    map[string]float64{},
+	}
+	var perMatcher [2]float64
+	var weighted [2]int64
+	for mi, m := range []struct {
+		name    string
+		matcher tub.Matcher
+	}{
+		{"auction", tub.AuctionMatcher},
+		{"exact", tub.ExactMatcher},
+	} {
+		var wl int64
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := tub.Bound(t, tub.Options{Matcher: m.matcher})
+				if err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+				wl = res.WeightedLen
+			}
+		})
+		if benchErr != nil {
+			return benchErr
+		}
+		nsOp := float64(r.NsPerOp())
+		perMatcher[mi] = nsOp
+		weighted[mi] = wl
+		rep.Entries = append(rep.Entries, matchBenchEntry{
+			Name:        fmt.Sprintf("BenchmarkTUBBound/switches=%d/matcher=%s", switches, m.name),
+			Switches:    switches,
+			Matcher:     m.name,
+			NsPerOp:     nsOp,
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			WeightedLen: wl,
+		})
+		fmt.Fprintf(os.Stderr, "matching switches=%d matcher=%s: %.2f ms/op, weighted_len=%d\n",
+			switches, m.name, nsOp/1e6, wl)
+	}
+	if weighted[0] != weighted[1] {
+		return fmt.Errorf("matchers disagree: auction weighted_len %d != exact %d", weighted[0], weighted[1])
+	}
+	rep.Speedup[fmt.Sprintf("switches=%d", switches)] = perMatcher[1] / perMatcher[0]
 
 	enc, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

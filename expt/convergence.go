@@ -22,11 +22,11 @@ type ConvergenceRecorder struct {
 }
 
 type solveTrack struct {
-	rounds, phases  int
-	dual, lambda    float64
-	thetaLB, theta  float64
-	eps             float64
-	ended           bool
+	rounds, phases int
+	dual, lambda   float64
+	thetaLB, theta float64
+	eps            float64
+	ended          bool
 }
 
 // Emit folds one event into the per-solve records.

@@ -268,9 +268,33 @@ func (g *Graph) AllDistances(sources []int) ([][]uint8, error) {
 	return g.AllDistancesWorkers(sources, 0)
 }
 
+// MaxDistMatrixBytes caps the size of a uint8 distance matrix a single
+// call may allocate. uint8 rows already cut the footprint 4× against
+// int32 (a 100k-host matrix is 10 GB instead of 40 GB), but past this
+// cap an allocation would likely OOM the process rather than return;
+// callers get a sizing error instead. It is a variable so capacity
+// tests can lower it.
+var MaxDistMatrixBytes int64 = 16 << 30
+
+// CheckDistMatrixSize reports whether a rows×cols uint8 distance matrix
+// fits under MaxDistMatrixBytes, with an error that states the required
+// size. The multiplication is done in int64, so dimensions near the int
+// range do not overflow the check itself.
+func CheckDistMatrixSize(rows, cols int) error {
+	need := int64(rows) * int64(cols)
+	if rows != 0 && need/int64(rows) != int64(cols) || need > MaxDistMatrixBytes {
+		return fmt.Errorf("graph: %d×%d uint8 distance matrix needs %d bytes, above the %d byte cap (MaxDistMatrixBytes)",
+			rows, cols, need, MaxDistMatrixBytes)
+	}
+	return nil
+}
+
 // AllDistancesWorkers is AllDistances with an explicit worker count
 // (<= 0 means GOMAXPROCS). The result is identical for any worker count.
 func (g *Graph) AllDistancesWorkers(sources []int, workers int) ([][]uint8, error) {
+	if err := CheckDistMatrixSize(len(sources), g.n); err != nil {
+		return nil, err
+	}
 	out := make([][]uint8, len(sources))
 	backing := make([]uint8, len(sources)*g.n)
 	err := g.MultiBFSRows(sources, workers, func(i int, dist []int32) error {

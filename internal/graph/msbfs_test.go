@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strings"
 	"testing"
 
 	"dctopo/internal/graph"
@@ -318,5 +319,22 @@ func TestBitset(t *testing.T) {
 		if b[i] != 0 {
 			t.Fatalf("word %d not cleared: %x", i, b[i])
 		}
+	}
+}
+
+// TestDistMatrixCap: above the configured byte cap, AllDistances must
+// refuse with a sizing error instead of attempting the allocation.
+func TestDistMatrixCap(t *testing.T) {
+	g := pathGraph(8)
+	defer func(old int64) { graph.MaxDistMatrixBytes = old }(graph.MaxDistMatrixBytes)
+	graph.MaxDistMatrixBytes = 63 // 8×8 needs 64 bytes
+	if _, err := g.APSP(); err == nil {
+		t.Fatal("APSP above the cap did not fail")
+	} else if !strings.Contains(err.Error(), "MaxDistMatrixBytes") {
+		t.Fatalf("unhelpful capacity error: %v", err)
+	}
+	graph.MaxDistMatrixBytes = 64
+	if _, err := g.APSP(); err != nil {
+		t.Fatalf("APSP at the cap failed: %v", err)
 	}
 }

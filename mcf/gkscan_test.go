@@ -1,0 +1,191 @@
+// Equivalence coverage for the incremental Garg–Könemann kernel: it must
+// reproduce solveGKSimple bit-for-bit — identical θ and identical
+// per-path flows — on every instance family, worker count, and option
+// combination, including the non-integral fallbacks and the sequential/
+// parallel scan boundary.
+package mcf
+
+import (
+	"math/rand"
+	"testing"
+
+	"dctopo/topo"
+	"dctopo/traffic"
+)
+
+// runBothScans solves the same instance with the simple and incremental
+// kernels and fails the test unless θ and every path flow are bitwise
+// identical.
+func runBothScans(t *testing.T, top *topo.Topology, tm *traffic.Matrix, k int, opt Options) (float64, float64) {
+	t.Helper()
+	paths := KShortest(top, tm, k)
+	optS, optI := opt, opt
+	optS.Method, optI.Method = Approx, Approx
+	optS.Scan, optI.Scan = ScanSimple, ScanIncremental
+	ds, err := ThroughputDetail(top, tm, paths, optS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	di, err := ThroughputDetail(top, tm, paths, optI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Theta != di.Theta {
+		t.Fatalf("theta diverged: simple=%.17g incremental=%.17g", ds.Theta, di.Theta)
+	}
+	if len(ds.PathFlows) != len(di.PathFlows) {
+		t.Fatalf("flow shape diverged: %d vs %d demands", len(ds.PathFlows), len(di.PathFlows))
+	}
+	for j := range ds.PathFlows {
+		if len(ds.PathFlows[j]) != len(di.PathFlows[j]) {
+			t.Fatalf("demand %d: flow shape diverged", j)
+		}
+		for p, f := range ds.PathFlows[j] {
+			if di.PathFlows[j][p] != f {
+				t.Fatalf("demand %d path %d: flow diverged: simple=%.17g incremental=%.17g",
+					j, p, f, di.PathFlows[j][p])
+			}
+		}
+	}
+	return ds.Theta, di.Theta
+}
+
+// TestScanKernelsAgree sweeps randomized Jellyfish instances (dense
+// permutations and subsampled matrices, both worker extremes, several ε
+// values) and requires bitwise agreement between the scan kernels.
+func TestScanKernelsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 6; trial++ {
+		n := 12 + rng.Intn(20)
+		r := 6 + rng.Intn(4)
+		h := 2 + rng.Intn(2)
+		top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: n, Radix: r, Servers: h, Seed: uint64(trial + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm := traffic.RandomPermutation(top, uint64(trial+1))
+		if trial%2 == 1 && len(tm.Demands) > 4 {
+			// Subsampled matrix: the sparse regime the skip-mode scan
+			// targets.
+			tm = &traffic.Matrix{Switches: tm.Switches, Demands: tm.Demands[:len(tm.Demands)/2]}
+		}
+		k := 2 + rng.Intn(6)
+		eps := []float64{0.02, 0.05, 0.1}[rng.Intn(3)]
+		for _, w := range workerCounts() {
+			th, _ := runBothScans(t, top, tm, k, Options{Eps: eps, Workers: w})
+			if th <= 0 || th > 1.000001 {
+				t.Fatalf("trial %d workers %d: implausible theta %v", trial, w, th)
+			}
+		}
+	}
+}
+
+// TestScanKernelsAgreeNonIntegral drives the incremental kernel's inline
+// division fallback: fractional demand amounts make the growth-factor
+// table ineligible, and the kernels must still agree bitwise.
+func TestScanKernelsAgreeNonIntegral(t *testing.T) {
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 16, Radix: 8, Servers: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := traffic.RandomPermutation(top, 1)
+	scaled := &traffic.Matrix{Switches: tm.Switches, Demands: make([]traffic.Demand, len(tm.Demands))}
+	copy(scaled.Demands, tm.Demands)
+	for i := range scaled.Demands {
+		scaled.Demands[i].Amount *= 0.7
+	}
+	for _, w := range workerCounts() {
+		runBothScans(t, top, scaled, 4, Options{Eps: 0.05, Workers: w})
+	}
+}
+
+// TestScanKernelsAgreeMaxPhases pins the truncated-solve path: with a
+// phase cap the kernels must still agree bitwise, and the truncated θ
+// must stay a valid (positive, feasible) bound.
+func TestScanKernelsAgreeMaxPhases(t *testing.T) {
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 20, Radix: 8, Servers: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := traffic.RandomPermutation(top, 2)
+	for _, mp := range []int{1, 2} {
+		th, _ := runBothScans(t, top, tm, 4, Options{Eps: 0.05, Workers: 1, MaxPhases: mp})
+		if th <= 0 {
+			t.Fatalf("MaxPhases=%d: non-positive theta %v", mp, th)
+		}
+	}
+}
+
+// TestGKIncScanBoundary pins both sides of the sequential/parallel scan
+// switch: with the threshold forced below the active-demand count, every
+// round takes the parallelChunks path, and the result must stay bitwise
+// identical to the default inline path.
+func TestGKIncScanBoundary(t *testing.T) {
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 24, Radix: 8, Servers: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := traffic.RandomPermutation(top, 3)
+	paths := KShortest(top, tm, 4)
+	solve := func() float64 {
+		th, err := Throughput(top, tm, paths, Options{Method: Approx, Eps: 0.05, Workers: 4, Scan: ScanIncremental})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return th
+	}
+	want := solve()
+	defer func(old int) { gkIncSeqScanMax = old }(gkIncSeqScanMax)
+	for _, max := range []int{0, 1, len(tm.Demands) - 1, len(tm.Demands)} {
+		gkIncSeqScanMax = max
+		if got := solve(); got != want {
+			t.Fatalf("gkIncSeqScanMax=%d: theta %v != %v", max, got, want)
+		}
+	}
+}
+
+// FuzzGKScanEquivalence cross-checks the two kernels on fuzzer-chosen
+// topologies, matrices, and solver options; any bitwise divergence in θ
+// is a bug in the incremental kernel's work-skipping logic.
+func FuzzGKScanEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(16), uint8(8), uint8(2), uint8(4), false)
+	f.Add(uint64(2), uint8(24), uint8(6), uint8(3), uint8(2), true)
+	f.Add(uint64(3), uint8(12), uint8(9), uint8(2), uint8(6), false)
+	f.Fuzz(func(t *testing.T, seed uint64, n, r, h, k uint8, sub bool) {
+		sw := 8 + int(n)%32
+		radix := 4 + int(r)%8
+		hosts := 1 + int(h)%3
+		if hosts >= radix {
+			hosts = radix - 1
+		}
+		top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: sw, Radix: radix, Servers: hosts, Seed: seed%16 + 1})
+		if err != nil {
+			t.Skip()
+		}
+		tm := traffic.RandomPermutation(top, seed)
+		if sub && len(tm.Demands) > 2 {
+			tm = &traffic.Matrix{Switches: tm.Switches, Demands: tm.Demands[:len(tm.Demands)/2]}
+		}
+		if len(tm.Demands) == 0 {
+			t.Skip()
+		}
+		paths := KShortest(top, tm, 1+int(k)%8)
+		for j := range paths.ByDemand {
+			if len(paths.ByDemand[j]) == 0 {
+				t.Skip()
+			}
+		}
+		var theta [2]float64
+		for i, scan := range []Scan{ScanSimple, ScanIncremental} {
+			th, err := Throughput(top, tm, paths, Options{Method: Approx, Eps: 0.06, Workers: 1, Scan: scan})
+			if err != nil {
+				t.Skip()
+			}
+			theta[i] = th
+		}
+		if theta[0] != theta[1] {
+			t.Fatalf("kernels diverged: simple=%.17g incremental=%.17g (sw=%d radix=%d hosts=%d)",
+				theta[0], theta[1], sw, radix, hosts)
+		}
+	})
+}

@@ -50,6 +50,39 @@ const (
 	Approx
 )
 
+// Scan selects the Garg–Könemann cheapest-path scan kernel.
+type Scan int
+
+// Scan kernels.
+const (
+	// ScanAuto selects ScanIncremental, the production kernel.
+	ScanAuto Scan = iota
+	// ScanIncremental maintains a per-path length array plus an
+	// edge→paths inverted index, so each round's scan compares k cached
+	// sums per demand and each augmentation delta-updates only the paths
+	// crossing its edges. Path choices match ScanSimple exactly and θ
+	// agrees within 1e-12 relative (see DESIGN.md "Solver scaling" for
+	// why strict bit-identity gives way to a tolerance here).
+	ScanIncremental
+	// ScanSimple is the retained pre-incremental baseline: every round
+	// re-sums every active demand's path lengths edge by edge. Kept as
+	// the differential-testing and benchmark reference.
+	ScanSimple
+)
+
+// String names the scan kernel (used in trace attributes).
+func (s Scan) String() string {
+	switch s {
+	case ScanAuto:
+		return "auto"
+	case ScanIncremental:
+		return "incremental"
+	case ScanSimple:
+		return "simple"
+	}
+	return fmt.Sprintf("scan(%d)", int(s))
+}
+
 // Options configures Throughput. The zero value means Auto with ε = 0.02
 // on a GOMAXPROCS-wide pool.
 type Options struct {
@@ -61,6 +94,17 @@ type Options struct {
 	// bit-identical for any worker count; the exact simplex backend is
 	// single-threaded and ignores this field.
 	Workers int
+	// Scan selects the Garg–Könemann scan kernel. The zero value
+	// (ScanAuto = ScanIncremental) is right for all production uses;
+	// ScanSimple exists for differential tests and benchmarks.
+	Scan Scan
+	// MaxPhases, when positive, stops the Garg–Könemann solver after
+	// that many phases instead of running to dual termination. The
+	// rescaled result is still a feasible throughput — a valid lower
+	// bound — just farther from the (1−ε) guarantee. Used by large-scale
+	// smoke tests and incremental what-if sweeps; 0 means run to
+	// completion. The exact simplex backend ignores this field.
+	MaxPhases int
 	// Obs, when non-nil, receives an "mcf.solve" span with a per-backend
 	// child span; the Garg–Könemann child emits one "mcf.round" point
 	// event per round (round, phase, active, dual, lambda, theta_lb).
@@ -94,8 +138,21 @@ func Throughput(t *topo.Topology, m *traffic.Matrix, p *Paths, opt Options) (flo
 	return d.Theta, nil
 }
 
+// MaxConcurrentFlow solves the path-restricted maximum concurrent flow
+// with the Garg–Könemann backend regardless of instance size — the
+// ground-truth solver for instances far beyond the exact simplex range
+// (tens of thousands of switches). It is Throughput with Method forced
+// to Approx; all other options apply unchanged.
+func MaxConcurrentFlow(t *topo.Topology, m *traffic.Matrix, p *Paths, opt Options) (*Detail, error) {
+	opt.Method = Approx
+	return ThroughputDetail(t, m, p, opt)
+}
+
 // ThroughputDetail is Throughput plus the realizing per-path flows.
 func ThroughputDetail(t *topo.Topology, m *traffic.Matrix, p *Paths, opt Options) (*Detail, error) {
+	if opt.Scan < ScanAuto || opt.Scan > ScanSimple {
+		return nil, fmt.Errorf("mcf: invalid scan kernel %d (want ScanAuto, ScanIncremental or ScanSimple)", opt.Scan)
+	}
 	if len(m.Demands) == 0 {
 		return nil, errors.New("mcf: empty traffic matrix")
 	}
@@ -117,8 +174,15 @@ func ThroughputDetail(t *topo.Topology, m *traffic.Matrix, p *Paths, opt Options
 		return theta, flat, err
 	}
 	approx := func() (float64, []float64) {
-		gko, sp := mo.Start("mcf.gk", obs.Float("eps", opt.eps()))
-		theta, flat := inst.solveGK(opt.eps(), opt.Workers, gko)
+		gko, sp := mo.Start("mcf.gk",
+			obs.Float("eps", opt.eps()), obs.String("scan", opt.scan().String()))
+		var theta float64
+		var flat []float64
+		if opt.scan() == ScanSimple {
+			theta, flat = inst.solveGKSimple(opt.eps(), opt.Workers, opt.MaxPhases, gko)
+		} else {
+			theta, flat = inst.solveGKIncremental(opt.eps(), opt.Workers, opt.MaxPhases, gko)
+		}
 		sp.End(obs.Float("theta", theta))
 		return theta, flat
 	}
@@ -158,6 +222,14 @@ func (o Options) eps() float64 {
 		return 0.02
 	}
 	return o.Eps
+}
+
+// scan resolves ScanAuto to the production kernel.
+func (o Options) scan() Scan {
+	if o.Scan == ScanAuto {
+		return ScanIncremental
+	}
+	return o.Scan
 }
 
 // instance is the flattened path-flow system shared by both backends.
@@ -240,9 +312,9 @@ func (inst *instance) solveExact() (float64, []float64, error) {
 // scan itself on small rounds. The algorithm is identical either way.
 const gkSeqScanMax = 32
 
-// solveGK runs a round-based variant of the Garg–Könemann / Fleischer
-// maximum concurrent flow algorithm over the fixed path sets, then
-// rescales the accumulated flow onto the feasible region. Each phase
+// solveGKSimple runs a round-based variant of the Garg–Könemann /
+// Fleischer maximum concurrent flow algorithm over the fixed path sets,
+// then rescales the accumulated flow onto the feasible region. Each phase
 // routes every demand's full amount; a phase proceeds in rounds, where a
 // round (1) scans — in parallel, against the frozen length function — the
 // cheapest path of every still-active demand, then (2) applies one
@@ -253,6 +325,15 @@ const gkSeqScanMax = 32
 // feasible throughput and, for the path-restricted problem, within ≈(1−3ε)
 // of optimal.
 //
+// This is the retained pre-incremental baseline (ScanSimple): every scan
+// re-sums every active demand's path lengths edge by edge, O(active ×
+// k × pathlen) per round. solveGKIncremental in gkscan.go is the
+// production kernel; this one anchors the differential tests and the
+// before/after benchmarks.
+//
+// A positive maxPhases stops the phase loop early; the rescaled flow is
+// still feasible, so the returned θ is a valid lower bound.
+//
 // When o is non-nil, every round emits an "mcf.round" point event with
 // the convergence state: round and phase index, active demand count, the
 // dual objective D = Σ c_e·l_e (termination at D ≥ 1), the running worst
@@ -261,7 +342,7 @@ const gkSeqScanMax = 32
 // bound that climbs toward the final answer. Tracking λ incrementally
 // costs one extra pass per augmentation, paid only when o is non-nil; the
 // algorithm's arithmetic is untouched either way.
-func (inst *instance) solveGK(eps float64, workers int, o *obs.Obs) (float64, []float64) {
+func (inst *instance) solveGKSimple(eps float64, workers, maxPhases int, o *obs.Obs) (float64, []float64) {
 	mEdges := float64(inst.numEdges)
 	delta := (1 + eps) * math.Pow((1+eps)*mEdges, -1/eps)
 	if delta <= 0 || math.IsNaN(delta) {
@@ -328,6 +409,9 @@ func (inst *instance) solveGK(eps float64, workers int, o *obs.Obs) (float64, []
 	}
 
 	for d < 1 {
+		if maxPhases > 0 && phase >= maxPhases {
+			break
+		}
 		// New phase: every demand routes its full amount again.
 		phase++
 		active = active[:0]
@@ -392,8 +476,14 @@ func (inst *instance) solveGK(eps float64, workers int, o *obs.Obs) (float64, []
 		}
 	}
 
-	// Rescale onto the feasible region: divide by the worst link load,
-	// then take the worst satisfied demand fraction.
+	return inst.rescaleGK(flow)
+}
+
+// rescaleGK projects accumulated Garg–Könemann flow onto the feasible
+// region — divide by the worst link load, then take the worst satisfied
+// demand fraction — shared by both scan kernels so their results differ
+// only through path choices.
+func (inst *instance) rescaleGK(flow []float64) (float64, []float64) {
 	load := make([]float64, inst.numEdges)
 	for pid, f := range flow {
 		if f == 0 {

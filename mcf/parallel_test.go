@@ -143,4 +143,3 @@ func TestMinLenEmpty(t *testing.T) {
 		}
 	}
 }
-

@@ -51,7 +51,7 @@ func TestAttrValues(t *testing.T) {
 	}{
 		{String("s", "x"), "x"},
 		{Int("i", -3), int64(-3)},
-		{Int64("i", 1 << 40), int64(1 << 40)},
+		{Int64("i", 1<<40), int64(1 << 40)},
 		{Float("f", 2.5), 2.5},
 		{Bool("b", true), true},
 		{Bool("b", false), false},

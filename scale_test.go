@@ -1,0 +1,51 @@
+// Capacity smoke test: the ground-truth solvers must stay usable at the
+// 20k-switch scale the estimator experiments sweep toward. Skipped in
+// -short runs; CI runs it as its own step so a scaling regression fails
+// loudly rather than slowly.
+package dctopo_test
+
+import (
+	"testing"
+
+	"dctopo/mcf"
+	"dctopo/topo"
+	"dctopo/traffic"
+	"dctopo/tub"
+)
+
+func TestScale20kSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20k-switch smoke test skipped in -short mode")
+	}
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 20000, Radix: 32, Servers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// TUB at 20k hosts: a 400 MB uint8 distance matrix plus the greedy
+	// matcher (AutoMatcher crosses over past autoAuctionMax).
+	res, err := tub.Bound(top, tub.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With only 4 servers on radix-32 switches the fabric is
+	// underloaded, so the (unclamped) bound may legitimately exceed 1.
+	if res.Bound <= 0 {
+		t.Fatalf("implausible TUB bound %v", res.Bound)
+	}
+
+	// One Garg–Könemann phase on a subsampled permutation: exercises the
+	// incremental scan's index build and apply path at scale without
+	// paying a full FPTAS solve.
+	tm := traffic.RandomPermutation(top, 1)
+	tm = &traffic.Matrix{Switches: tm.Switches, Demands: tm.Demands[:64]}
+	paths := mcf.KShortest(top, tm, 4)
+	th, err := mcf.Throughput(top, tm, paths, mcf.Options{Method: mcf.Approx, Eps: 0.1, MaxPhases: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th <= 0 {
+		t.Fatalf("non-positive truncated theta %v", th)
+	}
+	t.Logf("tub bound %.4f, one-phase theta %.4f", res.Bound, th)
+}

@@ -53,9 +53,16 @@ const (
 	GreedyMatcher
 )
 
-// Auto matcher size thresholds (host switch counts).
+// Auto matcher size thresholds (host switch counts). The sharded
+// auction beats Jonker–Volgenant at every size measured (279µs vs
+// 703µs at n=64, 5ms vs 31ms at n=256, 106ms vs 1.7s at n=1000 on
+// distance-derived weights) and both are exact, so Exact is kept only
+// for tiny instances where either finishes in microseconds. Beyond
+// autoAuctionMax the auction's materialized weight matrix no longer
+// fits cache-friendly memory (n=8000 takes ~19s vs ~260ms at n=2000)
+// and Auto falls back to the linear-time greedy heuristic.
 const (
-	autoExactMax   = 384
+	autoExactMax   = 64
 	autoAuctionMax = 6000
 )
 
@@ -160,20 +167,62 @@ func Bound(t *topo.Topology, opt Options) (*Result, error) {
 			m = GreedyMatcher
 		}
 	}
-	_, msp := to.Start("tub.match", obs.String("matcher", m.String()))
+	mo, msp := to.Start("tub.match", obs.String("matcher", m.String()))
 	var res *match.Result
 	switch m {
 	case ExactMatcher:
 		res = match.Exact(n, weight)
+		msp.End(obs.Int64("weighted_len", res.Total))
 	case AuctionMatcher:
-		res = match.Auction(n, weight)
+		// The sharded auction bids over materialized weight rows filled
+		// straight from the uint8 distance rows — the per-entry weight
+		// callback was the dominant cost of the Gauss-Seidel auction.
+		uniform := true
+		for _, hv := range h[1:] {
+			if hv != h[0] {
+				uniform = false
+				break
+			}
+		}
+		row := func(i int, out []int64) {
+			di := dist[i]
+			if uniform {
+				hv := h[0]
+				for j, d := range di {
+					out[j] = int64(d) * hv
+				}
+				return
+			}
+			hi := h[i]
+			for j, d := range di {
+				w := hi
+				if h[j] < w {
+					w = h[j]
+				}
+				out[j] = int64(d) * w
+			}
+		}
+		var stats match.AuctionStats
+		res, stats = match.AuctionSharded(n, weight, match.AuctionOptions{
+			Workers: opt.Workers,
+			Row:     row,
+			OnPhase: func(phase int, eps int64, rounds, bids int) {
+				mo.Point("tub.match.phase",
+					obs.Int("phase", phase), obs.Int64("eps", eps),
+					obs.Int("rounds", rounds), obs.Int("bids", bids))
+			},
+		})
+		msp.End(obs.Int64("weighted_len", res.Total),
+			obs.Int("auction_phases", stats.Phases),
+			obs.Int("auction_rounds", stats.Rounds),
+			obs.Int("auction_bids", stats.Bids))
 	case GreedyMatcher:
 		res = match.Greedy(n, weight)
+		msp.End(obs.Int64("weighted_len", res.Total))
 	default:
 		msp.End()
 		return nil, fmt.Errorf("tub: unknown matcher %d", m)
 	}
-	msp.End(obs.Int64("weighted_len", res.Total))
 
 	out := &Result{
 		Perm:        res.Col,
@@ -207,6 +256,9 @@ func HostDistancesWorkers(t *topo.Topology, workers int) ([][]uint8, error) {
 	g := t.Graph()
 	hosts := t.Hosts()
 	n := len(hosts)
+	if err := graph.CheckDistMatrixSize(n, n); err != nil {
+		return nil, err
+	}
 	pos := hostPositions(g.N(), hosts)
 	out := make([][]uint8, n)
 	backing := make([]uint8, n*n)
@@ -231,6 +283,9 @@ func HostDistancesScalar(t *topo.Topology, workers int) ([][]uint8, error) {
 	g := t.Graph()
 	hosts := t.Hosts()
 	n := len(hosts)
+	if err := graph.CheckDistMatrixSize(n, n); err != nil {
+		return nil, err
+	}
 	pos := hostPositions(g.N(), hosts)
 	out := make([][]uint8, n)
 	backing := make([]uint8, n*n)

@@ -421,3 +421,49 @@ func BenchmarkBoundGreedy1000(b *testing.B) {
 		}
 	}
 }
+
+// TestBoundAuctionDeterministicAcrossWorkers: the auction matcher's
+// block partition is a pure function of the free queue, so the full
+// matching — not just the bound — must be bit-identical however the
+// bidding is sharded.
+func TestBoundAuctionDeterministicAcrossWorkers(t *testing.T) {
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 120, Radix: 10, Servers: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Bound(top, Options{Matcher: AuctionMatcher, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8} {
+		res, err := Bound(top, Options{Matcher: AuctionMatcher, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Bound != base.Bound || res.WeightedLen != base.WeightedLen {
+			t.Fatalf("workers=%d: bound %v/%d != %v/%d", w, res.Bound, res.WeightedLen, base.Bound, base.WeightedLen)
+		}
+		for i := range res.Perm {
+			if res.Perm[i] != base.Perm[i] {
+				t.Fatalf("workers=%d: Perm[%d]=%d != %d", w, i, res.Perm[i], base.Perm[i])
+			}
+		}
+	}
+}
+
+// TestHostDistancesCap: the host-distance matrix must respect the graph
+// package's byte cap with a friendly error rather than allocating.
+func TestHostDistancesCap(t *testing.T) {
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 20, Radix: 6, Servers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func(old int64) { graph.MaxDistMatrixBytes = old }(graph.MaxDistMatrixBytes)
+	graph.MaxDistMatrixBytes = 100 // 20×20 needs 400 bytes
+	if _, err := HostDistances(top); err == nil {
+		t.Fatal("HostDistances above the cap did not fail")
+	}
+	if _, err := Bound(top, Options{}); err == nil {
+		t.Fatal("Bound above the cap did not fail")
+	}
+}
