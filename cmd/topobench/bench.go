@@ -7,9 +7,11 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"dctopo/internal/graph"
 
@@ -18,6 +20,55 @@ import (
 	"dctopo/traffic"
 	"dctopo/tub"
 )
+
+// benchMeta records the provenance of a bench run — embedded in every
+// BENCH_*.json document so benchdiff can label what is being compared
+// and CI artifacts stay attributable to a commit.
+type benchMeta struct {
+	Commit    string `json:"commit,omitempty"`
+	GoVersion string `json:"go_version"`
+	Timestamp string `json:"timestamp"`
+}
+
+// currentBenchMeta stamps the VCS revision when the binary was built
+// with VCS info; `go run` and test binaries are not, so GITHUB_SHA (set
+// by CI) is the fallback.
+func currentBenchMeta() benchMeta {
+	m := benchMeta{
+		GoVersion: runtime.Version(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				m.Commit = s.Value
+			}
+		}
+	}
+	if m.Commit == "" {
+		m.Commit = os.Getenv("GITHUB_SHA")
+	}
+	return m
+}
+
+// writeBenchJSON is the shared tail of every bench subcommand: indent,
+// then either stream to w (out == "-") or write the file and confirm.
+func writeBenchJSON(w io.Writer, out string, rep interface{}, entries int) error {
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		_, err = w.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (%d entries)\n", out, entries)
+	return nil
+}
 
 // benchEntry is one benchmark record of BENCH_msbfs.json: a kernel run
 // of HostDistances on one Jellyfish size.
@@ -34,7 +85,8 @@ type benchEntry struct {
 
 // benchReport is the BENCH_msbfs.json document.
 type benchReport struct {
-	Benchmark  string       `json:"benchmark"`
+	Benchmark string `json:"benchmark"`
+	benchMeta
 	GoMaxProcs int          `json:"gomaxprocs"`
 	Entries    []benchEntry `json:"entries"`
 	// Speedup maps "switches=N" to bitparallel/scalar wall-clock ratio.
@@ -57,7 +109,8 @@ type kspBenchEntry struct {
 
 // kspBenchReport is the BENCH_ksp.json document.
 type kspBenchReport struct {
-	Benchmark  string          `json:"benchmark"`
+	Benchmark string `json:"benchmark"`
+	benchMeta
 	GoMaxProcs int             `json:"gomaxprocs"`
 	Entries    []kspBenchEntry `json:"entries"`
 	// Speedup maps "switches=N" to goal/simple wall-clock ratio.
@@ -81,7 +134,8 @@ type gkBenchEntry struct {
 
 // gkBenchReport is the BENCH_gk.json document.
 type gkBenchReport struct {
-	Benchmark  string         `json:"benchmark"`
+	Benchmark string `json:"benchmark"`
+	benchMeta
 	GoMaxProcs int            `json:"gomaxprocs"`
 	Entries    []gkBenchEntry `json:"entries"`
 	// Speedup maps "switches=N" to simple/incremental wall-clock ratio.
@@ -102,7 +156,8 @@ type matchBenchEntry struct {
 
 // matchBenchReport is the BENCH_matching.json document.
 type matchBenchReport struct {
-	Benchmark  string            `json:"benchmark"`
+	Benchmark string `json:"benchmark"`
+	benchMeta
 	GoMaxProcs int               `json:"gomaxprocs"`
 	Entries    []matchBenchEntry `json:"entries"`
 	// Speedup maps "switches=N" to exact/auction wall-clock ratio.
@@ -148,6 +203,9 @@ func cmdBench(w io.Writer, args []string) error {
 	); err != nil {
 		return err
 	}
+	// Bench runs are long enough that the always-on flight recorder is
+	// worth its (lock-free, allocation-free) overhead.
+	rf.flightAuto = true
 	_, done, err := rf.observe()
 	if err != nil {
 		return err
@@ -184,6 +242,7 @@ func cmdBench(w io.Writer, args []string) error {
 func benchMSBFS(w io.Writer, sizes string, radix, servers int, out string) error {
 	rep := benchReport{
 		Benchmark:  "HostDistances/jellyfish",
+		benchMeta:  currentBenchMeta(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Speedup:    map[string]float64{},
 	}
@@ -236,20 +295,7 @@ func benchMSBFS(w io.Writer, sizes string, radix, servers int, out string) error
 		rep.Speedup[fmt.Sprintf("switches=%d", n)] = perKernel[1] / perKernel[0]
 	}
 
-	enc, err := json.MarshalIndent(&rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	enc = append(enc, '\n')
-	if out == "-" {
-		_, err = w.Write(enc)
-		return err
-	}
-	if err := os.WriteFile(out, enc, 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "wrote %s (%d entries)\n", out, len(rep.Entries))
-	return nil
+	return writeBenchJSON(w, out, &rep, len(rep.Entries))
 }
 
 // benchKSP measures the Yen kernels (goal-directed vs simple baseline)
@@ -267,6 +313,7 @@ func benchKSP(w io.Writer, switches, radix, servers, k, pairs int, out string) e
 	}
 	rep := kspBenchReport{
 		Benchmark:  "KShortestPaths/jellyfish",
+		benchMeta:  currentBenchMeta(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Speedup:    map[string]float64{},
 	}
@@ -307,20 +354,7 @@ func benchKSP(w io.Writer, switches, radix, servers, k, pairs int, out string) e
 	}
 	rep.Speedup[fmt.Sprintf("switches=%d", switches)] = perKernel[1] / perKernel[0]
 
-	enc, err := json.MarshalIndent(&rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	enc = append(enc, '\n')
-	if out == "-" {
-		_, err = w.Write(enc)
-		return err
-	}
-	if err := os.WriteFile(out, enc, 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "wrote %s (%d entries)\n", out, len(rep.Entries))
-	return nil
+	return writeBenchJSON(w, out, &rep, len(rep.Entries))
 }
 
 // benchGK measures the Garg–Könemann scan kernels (incremental vs the
@@ -339,6 +373,7 @@ func benchGK(w io.Writer, switches, radix, servers, demands, k int, eps float64,
 	paths := mcf.KShortest(t, tm, k)
 	rep := gkBenchReport{
 		Benchmark:  "MaxConcurrentFlow/jellyfish",
+		benchMeta:  currentBenchMeta(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Speedup:    map[string]float64{},
 	}
@@ -387,20 +422,7 @@ func benchGK(w io.Writer, switches, radix, servers, demands, k int, eps float64,
 	}
 	rep.Speedup[fmt.Sprintf("switches=%d", switches)] = perKernel[1] / perKernel[0]
 
-	enc, err := json.MarshalIndent(&rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	enc = append(enc, '\n')
-	if out == "-" {
-		_, err = w.Write(enc)
-		return err
-	}
-	if err := os.WriteFile(out, enc, 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "wrote %s (%d entries)\n", out, len(rep.Entries))
-	return nil
+	return writeBenchJSON(w, out, &rep, len(rep.Entries))
 }
 
 // benchMatching measures the TUB bound under the sharded auction matcher
@@ -414,6 +436,7 @@ func benchMatching(w io.Writer, switches, radix, servers int, out string) error 
 	}
 	rep := matchBenchReport{
 		Benchmark:  "TUBBound/jellyfish",
+		benchMeta:  currentBenchMeta(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Speedup:    map[string]float64{},
 	}
@@ -462,18 +485,5 @@ func benchMatching(w io.Writer, switches, radix, servers int, out string) error 
 	}
 	rep.Speedup[fmt.Sprintf("switches=%d", switches)] = perMatcher[1] / perMatcher[0]
 
-	enc, err := json.MarshalIndent(&rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	enc = append(enc, '\n')
-	if out == "-" {
-		_, err = w.Write(enc)
-		return err
-	}
-	if err := os.WriteFile(out, enc, 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "wrote %s (%d entries)\n", out, len(rep.Entries))
-	return nil
+	return writeBenchJSON(w, out, &rep, len(rep.Entries))
 }

@@ -26,10 +26,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"dctopo/design"
@@ -41,11 +43,23 @@ import (
 	"dctopo/tub"
 )
 
+// flightDumpFn, when a flight recorder is installed, writes the ring to
+// the dump file. Package-level so the panic path in main can reach it.
+var flightDumpFn func(reason string)
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			if dump := flightDumpFn; dump != nil {
+				dump("panic")
+			}
+			panic(r)
+		}
+	}()
 	var err error
 	switch os.Args[1] {
 	case "gen":
@@ -64,6 +78,8 @@ func main() {
 		err = cmdReport(os.Stdout, os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Stdout, os.Args[2:])
+	case "benchdiff":
+		err = cmdBenchDiff(os.Stdout, os.Args[2:])
 	case "version", "-version", "--version":
 		printVersion(os.Stdout)
 	case "-h", "--help", "help":
@@ -92,10 +108,14 @@ commands:
   design   size a full-throughput fabric and plan expansions (§5-§6 design aid)
   report   run the full experiment suite (-heavy, -only id,id, -cache DIR)
   bench    run the distance-kernel benchmarks and write BENCH_msbfs.json
+  benchdiff  compare two bench JSON files and fail on ns/op regressions
+             (-thresholds bench_thresholds.json, -hard 0.25)
   version  print build information
 
 observability (all commands): -v, -progress, -trace FILE, -metrics ADDR,
--cpuprofile FILE, -memprofile FILE
+-cpuprofile FILE, -memprofile FILE, -flight, -flight-dump FILE,
+-flight-size N, -deadline DURATION (flight recorder is on by default for
+report -heavy and bench; dump on SIGQUIT, deadline overrun, or panic)
 `, strings.Join(expt.IDs(), "|"))
 }
 
@@ -194,6 +214,14 @@ type runFlags struct {
 	progress   bool
 	trace      string
 	metrics    string
+	flight     bool
+	flightDump string
+	flightSize int
+	deadline   time.Duration
+	// flightAuto is set (not flag-controlled) by the long-running
+	// commands — report -heavy and bench — so the recorder is always on
+	// when a run is expensive enough that losing its tail would hurt.
+	flightAuto bool
 }
 
 func (rf *runFlags) register(fs *flag.FlagSet) {
@@ -204,6 +232,16 @@ func (rf *runFlags) register(fs *flag.FlagSet) {
 	fs.BoolVar(&rf.progress, "progress", false, "print sweep progress with ETA to stderr")
 	fs.StringVar(&rf.trace, "trace", "", "write a JSONL trace of spans and solver convergence to this file")
 	fs.StringVar(&rf.metrics, "metrics", "", "serve counters/gauges as expvar JSON on this address (e.g. localhost:8080)")
+	fs.BoolVar(&rf.flight, "flight", false, "keep the last -flight-size events in an in-memory flight recorder (dumped on SIGQUIT, -deadline overrun, or panic)")
+	fs.StringVar(&rf.flightDump, "flight-dump", "", "write the flight recorder to this JSONL file on exit (implies -flight)")
+	fs.IntVar(&rf.flightSize, "flight-size", obs.DefaultFlightSize, "flight recorder ring capacity in events (rounded up to a power of two)")
+	fs.DurationVar(&rf.deadline, "deadline", 0, "dump the flight recorder and exit 2 if the run exceeds this duration (implies -flight)")
+}
+
+// flightEnabled reports whether any of the flag or auto paths asked for
+// the recorder.
+func (rf *runFlags) flightEnabled() bool {
+	return rf.flight || rf.flightDump != "" || rf.deadline > 0 || rf.flightAuto
 }
 
 // profile starts CPU profiling when -cpuprofile was given and returns the
@@ -260,8 +298,15 @@ func (rf *runFlags) observe(extra ...obs.Sink) (*obs.Obs, func(), error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		sinks = append(sinks, obs.NewJSONL(f))
-		cleanup = append(cleanup, func() { f.Close() })
+		j := obs.NewJSONL(f)
+		sinks = append(sinks, j)
+		// Close flushes the JSONL buffer and closes f (the Sink teardown
+		// contract) — a bare f.Close() would drop the buffered tail.
+		cleanup = append(cleanup, func() {
+			if err := j.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "topobench: trace:", err)
+			}
+		})
 	}
 	if rf.progress {
 		sinks = append(sinks, obs.NewProgressLogger(os.Stderr))
@@ -270,10 +315,58 @@ func (rf *runFlags) observe(extra ...obs.Sink) (*obs.Obs, func(), error) {
 		sinks = append(sinks, obs.NewLogger(os.Stderr))
 	}
 	sinks = append(sinks, extra...)
+	var fl *obs.Flight
+	if rf.flightEnabled() {
+		fl = obs.NewFlight(rf.flightSize)
+		sinks = append(sinks, fl)
+	}
 	if len(sinks) == 0 && rf.metrics == "" {
 		return nil, done, nil
 	}
 	o := obs.New(sinks...)
+	if fl != nil {
+		cleanup = append(cleanup, o.StartRuntimeSampler(time.Second))
+		dump := func(reason string) {
+			path := rf.flightDump
+			if path == "" {
+				path = "topobench-flight.jsonl"
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "topobench: flight dump:", err)
+				return
+			}
+			defer f.Close()
+			if err := fl.WriteDump(f, reason, o.Registry()); err != nil {
+				fmt.Fprintln(os.Stderr, "topobench: flight dump:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "topobench: flight dump (%s): %s — %s\n", reason, path, fl)
+		}
+		flightDumpFn = dump
+		cleanup = append(cleanup, func() { flightDumpFn = nil })
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGQUIT)
+		go func() {
+			if _, ok := <-sig; ok {
+				dump("sigquit")
+				os.Exit(2)
+			}
+		}()
+		cleanup = append(cleanup, func() { signal.Stop(sig); close(sig) })
+		if rf.deadline > 0 {
+			t := time.AfterFunc(rf.deadline, func() {
+				dump("deadline")
+				os.Exit(2)
+			})
+			cleanup = append(cleanup, func() { t.Stop() })
+		}
+		if rf.flightDump != "" {
+			// Appended last so done() runs it first, while the runtime
+			// sampler gauges are still live.
+			cleanup = append(cleanup, func() { dump("exit") })
+		}
+	}
 	if rf.metrics != "" {
 		o.PublishExpvar("dctopo")
 		ln, err := net.Listen("tcp", rf.metrics)
@@ -639,6 +732,9 @@ func cmdReport(w io.Writer, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Heavy reports run for minutes: keep the flight recorder on so a
+	// hang or OOM kill still leaves a black box to read.
+	rf.flightAuto = *heavy
 	opt := expt.ReportOptions{
 		Markdown: *markdown,
 		Heavy:    *heavy,

@@ -57,10 +57,11 @@ func RunFigA1(p FigA1Params, opt RunOptions) (_ *FigA1Result, err error) {
 		n := p.Switches[i]
 		jo, jsp := ro.Start("figA1.job", obs.Int("n", n))
 		defer jsp.End()
-		t, ub, err := memo.BuildBound(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed, jo)
+		t, ub, cached, err := memo.BuildBoundCached(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed, jo)
 		if err != nil {
 			return err
 		}
+		run.MarkCached(i, cached)
 		rows[i] = FigA1Row{
 			Servers: t.NumServers(),
 			Upper:   ub.Bound,
@@ -269,10 +270,11 @@ func RunFigA4(p FigA4Params, opt RunOptions) (_ *FigA4Result, err error) {
 		h := p.Servers[i]
 		jo, jsp := ro.Start("figA4.job", obs.Int("h", h))
 		defer jsp.End()
-		t, base, err := memo.BuildBound(FamilyJellyfish, p.InitN/h, p.Radix, h, p.Seed, jo)
+		t, base, cached, err := memo.BuildBoundCached(FamilyJellyfish, p.InitN/h, p.Radix, h, p.Seed, jo)
 		if err != nil {
 			return err
 		}
+		run.MarkCached(i, cached)
 		rows := []FigA4Row{{H: h, Ratio: 1, Servers: t.NumServers(), TUB: base.Bound, Normalized: 1}}
 		cur := t
 		initSw := t.NumSwitches()
@@ -379,10 +381,11 @@ func RunFigA5(p FigA5Params, opt RunOptions) (_ *FigA5Result, err error) {
 		n := p.Switches[i]
 		jo, jsp := ro.Start("figA5.job", obs.Int("n", n))
 		defer jsp.End()
-		t, ub, err := memo.BuildBound(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed, jo)
+		t, ub, cached, err := memo.BuildBoundCached(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed, jo)
 		if err != nil {
 			return err
 		}
+		run.MarkCached(i, cached)
 		tm, err := ub.Matrix(t)
 		if err != nil {
 			return err

@@ -71,15 +71,17 @@ func RunFig10(p Fig10Params, opt RunOptions) (_ *Fig10Result, err error) {
 	defer func() { rsp.End(obs.Bool("ok", err == nil)) }()
 	memo := opt.memo(ro)
 	rows := make([]Fig10Row, len(jobs))
-	err = NewRunner(opt.Workers).Observe(ro, "fig10").ForEach(len(jobs), func(i int) error {
+	run := NewRunner(opt.Workers).Observe(ro, "fig10")
+	err = run.ForEach(len(jobs), func(i int) error {
 		jo, jsp := ro.Start("fig10.job",
 			obs.Int("n", p.SizeList[jobs[i].size]), obs.Float("f", p.Fractions[jobs[i].fraction]))
 		defer jsp.End()
 		n := p.SizeList[jobs[i].size]
-		base, baseUB, err := memo.BuildBound(p.Family, n/p.Servers, p.Radix, p.Servers, p.Seed, jo)
+		base, baseUB, cached, err := memo.BuildBoundCached(p.Family, n/p.Servers, p.Radix, p.Servers, p.Seed, jo)
 		if err != nil {
 			return err
 		}
+		run.MarkCached(i, cached)
 		f := p.Fractions[jobs[i].fraction]
 		var failed *topo.Topology
 		var ferr error

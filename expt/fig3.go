@@ -70,10 +70,11 @@ func RunFig3(p Fig3Params, opt RunOptions) (_ *Fig3Result, err error) {
 		h, n := jobs[i].h, jobs[i].n
 		jo, jsp := ro.Start("fig3.job", obs.Int("h", h), obs.Int("n", n))
 		defer jsp.End()
-		t, ub, err := memo.BuildBound(p.Family, n, p.Radix, h, p.Seed, jo)
+		t, ub, cached, err := memo.BuildBoundCached(p.Family, n, p.Radix, h, p.Seed, jo)
 		if err != nil {
 			return fmt.Errorf("expt: fig3 %s n=%d h=%d: %w", p.Family, n, h, err)
 		}
+		run.MarkCached(i, cached)
 		tm, err := ub.Matrix(t)
 		if err != nil {
 			return err

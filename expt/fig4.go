@@ -68,10 +68,11 @@ func RunFig4(p Fig4Params, opt RunOptions) (_ *Fig4Result, err error) {
 		n := p.Switches[i]
 		jo, jsp := ro.Start("fig4.job", obs.Int("n", n))
 		defer jsp.End()
-		t, ub, err := memo.BuildBound(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed, jo)
+		t, ub, cached, err := memo.BuildBoundCached(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed, jo)
 		if err != nil {
 			return err
 		}
+		run.MarkCached(i, cached)
 		tm, err := ub.Matrix(t)
 		if err != nil {
 			return err

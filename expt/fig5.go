@@ -82,10 +82,11 @@ func RunFig5(p Fig5Params, opt RunOptions) (_ *Fig5Result, err error) {
 		n := p.Switches[i]
 		jo, jsp := ro.Start("fig5.job", obs.Int("n", n))
 		defer jsp.End()
-		t, err := memo.BuildTopo(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed, jo)
+		t, cached, err := memo.BuildTopoCached(FamilyJellyfish, n, p.Radix, p.Servers, p.Seed, jo)
 		if err != nil {
 			return err
 		}
+		run.MarkCached(i, cached)
 		row := Fig5Row{Switches: t.NumSwitches(), Servers: t.NumServers()}
 
 		start := time.Now()

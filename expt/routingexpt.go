@@ -61,10 +61,11 @@ func RunRouting(p RoutingParams, opt RunOptions) (_ *RoutingResult, err error) {
 	err = run.ForEach(len(p.Switches), func(i int) error {
 		jo, jsp := ro.Start("routing.job", obs.Int("n", p.Switches[i]))
 		defer jsp.End()
-		t, ub, err := memo.BuildBound(p.Family, p.Switches[i], p.Radix, p.Servers, p.Seed, jo)
+		t, ub, cached, err := memo.BuildBoundCached(p.Family, p.Switches[i], p.Radix, p.Servers, p.Seed, jo)
 		if err != nil {
 			return err
 		}
+		run.MarkCached(i, cached)
 		tm, err := ub.Matrix(t)
 		if err != nil {
 			return err

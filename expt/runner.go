@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dctopo/obs"
 	"dctopo/topo"
@@ -21,6 +22,10 @@ type Runner struct {
 	workers int
 	obs     *obs.Obs
 	name    string
+	// cached flags jobs whose expensive work was served from a cache
+	// (Memo/Store hits), set by MarkCached during the current ForEach;
+	// progress ticks carry it so ETAs rate only real work.
+	cached []atomic.Bool
 }
 
 // NewRunner returns a Runner with the given pool size (<= 0 means
@@ -60,6 +65,19 @@ func (r *Runner) InnerWorkers(jobs int) int {
 	return (r.workers + jobs - 1) / jobs
 }
 
+// MarkCached flags job i of the current ForEach as a cache hit (or
+// clears the flag): its progress tick then carries Bool("cached", true),
+// which obs.ProgressLogger excludes from the ETA rate — a sweep resumed
+// over a warm Store would otherwise advertise ETAs off by the hit rate.
+// Call it from inside fn(i); it is a no-op on an uninstrumented Runner
+// or outside a ForEach.
+func (r *Runner) MarkCached(i int, cached bool) {
+	if r.obs == nil || i < 0 || i >= len(r.cached) {
+		return
+	}
+	r.cached[i].Store(cached)
+}
+
 // ForEach runs fn(0) … fn(n-1) on the pool and returns the lowest-index
 // error recorded, or nil. After the first failure, workers stop picking
 // up new jobs (jobs already started run to completion), so which
@@ -73,13 +91,19 @@ func (r *Runner) ForEach(n int, fn func(i int) error) error {
 	if r.obs != nil {
 		var started, done atomic.Int64
 		queued := r.obs.Gauge("expt.runner.queued")
+		waitHist := r.obs.Histogram(r.name + ".wait")
 		jobName := r.name + ".job"
+		r.cached = make([]atomic.Bool, n)
+		t0 := time.Now()
 		run = func(i int) error {
 			queued.Set(float64(n - int(started.Add(1))))
+			// Queue wait: how long the job sat behind the pool before a
+			// worker picked it up (the "<name>.wait" histogram).
+			waitHist.Observe(time.Since(t0))
 			r.obs.Point(jobName, obs.Int("i", i), obs.String("state", "start"))
 			err := fn(i)
 			r.obs.Point(jobName, obs.Int("i", i), obs.String("state", "done"), obs.Bool("ok", err == nil))
-			r.obs.Progress(r.name, int(done.Add(1)), n)
+			r.obs.Progress(r.name, int(done.Add(1)), n, obs.Bool("cached", r.cached[i].Load()))
 			return err
 		}
 	}
@@ -154,6 +178,15 @@ type memoCell struct {
 // transient failure recomputes instead of replaying a poisoned result
 // for the rest of the sweep. Only successful values are cached forever.
 func (m *Memo) Do(key string, fn func() (interface{}, error)) (interface{}, error) {
+	v, _, err := m.DoCached(key, fn)
+	return v, err
+}
+
+// DoCached is Do plus a hit indicator: cached is true when the value was
+// served from an existing cell (including waiting out another caller's
+// in-flight computation) and false when this call ran fn. Callers
+// forward it to Runner.MarkCached so progress ETAs skip cache hits.
+func (m *Memo) DoCached(key string, fn func() (interface{}, error)) (val interface{}, cached bool, err error) {
 	m.mu.Lock()
 	if m.cells == nil {
 		m.cells = make(map[string]*memoCell)
@@ -162,7 +195,7 @@ func (m *Memo) Do(key string, fn func() (interface{}, error)) (interface{}, erro
 		m.mu.Unlock()
 		m.Obs.Counter("expt.memo.hits").Add(1)
 		<-c.done
-		return c.val, c.err
+		return c.val, true, c.err
 	}
 	c := &memoCell{done: make(chan struct{})}
 	m.cells[key] = c
@@ -179,7 +212,7 @@ func (m *Memo) Do(key string, fn func() (interface{}, error)) (interface{}, erro
 		m.mu.Unlock()
 	}
 	close(c.done)
-	return c.val, c.err
+	return c.val, false, c.err
 }
 
 // buildKey names a uni-regular instance unambiguously: every parameter
@@ -194,13 +227,19 @@ func buildKey(f Family, switches, radix, servers int, seed uint64) string {
 // construction (Expand and WithLinkFailures both copy), so the shared
 // pointer is safe to hand to concurrent experiments.
 func (m *Memo) BuildTopo(f Family, switches, radix, servers int, seed uint64, o *obs.Obs) (*topo.Topology, error) {
-	v, err := m.Do(buildKey(f, switches, radix, servers, seed), func() (interface{}, error) {
+	t, _, err := m.BuildTopoCached(f, switches, radix, servers, seed, o)
+	return t, err
+}
+
+// BuildTopoCached is BuildTopo plus the cache-hit indicator of DoCached.
+func (m *Memo) BuildTopoCached(f Family, switches, radix, servers int, seed uint64, o *obs.Obs) (*topo.Topology, bool, error) {
+	v, cached, err := m.DoCached(buildKey(f, switches, radix, servers, seed), func() (interface{}, error) {
 		return BuildObs(f, switches, radix, servers, seed, o)
 	})
 	if err != nil {
-		return nil, err
+		return nil, cached, err
 	}
-	return v.(*topo.Topology), nil
+	return v.(*topo.Topology), cached, nil
 }
 
 // BuildBound returns the memoized (topology, default-matcher TUB result)
@@ -209,16 +248,24 @@ func (m *Memo) BuildTopo(f Family, switches, radix, servers int, seed uint64, o 
 // too is shared safely. Bounds computed with non-default tub.Options
 // (e.g. the wedge's greedy matcher) must not go through this cache.
 func (m *Memo) BuildBound(f Family, switches, radix, servers int, seed uint64, o *obs.Obs) (*topo.Topology, *tub.Result, error) {
-	t, err := m.BuildTopo(f, switches, radix, servers, seed, o)
+	t, res, _, err := m.BuildBoundCached(f, switches, radix, servers, seed, o)
+	return t, res, err
+}
+
+// BuildBoundCached is BuildBound plus a cache-hit indicator: cached is
+// true only when both the topology and the TUB result came from the
+// cache, i.e. the job did none of the expensive work itself.
+func (m *Memo) BuildBoundCached(f Family, switches, radix, servers int, seed uint64, o *obs.Obs) (*topo.Topology, *tub.Result, bool, error) {
+	t, topoCached, err := m.BuildTopoCached(f, switches, radix, servers, seed, o)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
 	key := fmt.Sprintf("tub|%s|n=%d|r=%d|h=%d|seed=%d", f, switches, radix, servers, seed)
-	v, err := m.Do(key, func() (interface{}, error) {
+	v, tubCached, err := m.DoCached(key, func() (interface{}, error) {
 		return tub.Bound(t, tub.Options{Obs: o})
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
-	return t, v.(*tub.Result), nil
+	return t, v.(*tub.Result), topoCached && tubCached, nil
 }

@@ -89,6 +89,56 @@ func TestMemoComputesOnce(t *testing.T) {
 	}
 }
 
+// TestRunnerCachedProgress: jobs flagged with MarkCached carry
+// Bool("cached", true) on their progress tick, and only those jobs —
+// so a warm Memo no longer skews the ProgressLogger ETA.
+func TestRunnerCachedProgress(t *testing.T) {
+	var cap obs.Capture
+	o := obs.New(&cap)
+	r := NewRunner(2).Observe(o, "sweep")
+	if err := r.ForEach(8, func(i int) error {
+		r.MarkCached(i, i%2 == 0)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var ticks, cachedTicks int
+	for _, e := range cap.Events() {
+		if e.Kind != obs.KindProgress {
+			continue
+		}
+		ticks++
+		v, ok := e.Attr("cached")
+		if !ok {
+			t.Fatalf("progress tick without cached attr: %+v", e)
+		}
+		if v.(bool) {
+			cachedTicks++
+		}
+	}
+	if ticks != 8 || cachedTicks != 4 {
+		t.Fatalf("got %d ticks, %d cached; want 8 and 4", ticks, cachedTicks)
+	}
+	// Out-of-range and uninstrumented MarkCached are harmless no-ops.
+	r.MarkCached(-1, true)
+	r.MarkCached(1000, true)
+	NewRunner(1).MarkCached(0, true)
+}
+
+// TestMemoDoCached pins the hit indicator: false on the computing call,
+// true on every later one.
+func TestMemoDoCached(t *testing.T) {
+	var m Memo
+	v, cached, err := m.DoCached("k", func() (interface{}, error) { return 1, nil })
+	if err != nil || cached || v.(int) != 1 {
+		t.Fatalf("first call: (%v, %v, %v), want (1, false, nil)", v, cached, err)
+	}
+	v, cached, err = m.DoCached("k", func() (interface{}, error) { return 2, nil })
+	if err != nil || !cached || v.(int) != 1 {
+		t.Fatalf("second call: (%v, %v, %v), want (1, true, nil)", v, cached, err)
+	}
+}
+
 // TestMemoErrorNotRetained: a failed computation must not poison its key —
 // the next Do recomputes (regression test: Do used to cache errors
 // forever, so one transient failure killed every later job of a sweep).

@@ -69,10 +69,11 @@ func RunTable3(p Table3Params, opt RunOptions) (_ *Table3Result, err error) {
 		sw := p.BBWProbeSwitches[i%len(p.BBWProbeSwitches)]
 		jo, jsp := ro.Start("tab3.job", obs.Int("h", h), obs.Int("switches", sw))
 		defer jsp.End()
-		t, err := memo.BuildTopo(FamilyJellyfish, sw, p.Radix, h, p.Seed, jo)
+		t, cached, err := memo.BuildTopoCached(FamilyJellyfish, sw, p.Radix, h, p.Seed, jo)
 		if err != nil {
 			return err
 		}
+		run.MarkCached(i, cached)
 		full[i] = estimators.Bisection(t, p.Seed).Full
 		return nil
 	})
@@ -262,10 +263,11 @@ func RunTable5(p Table5Params, opt RunOptions) (_ *Table5Result, err error) {
 		jo, jsp := ro.Start("tab5.job", obs.String("family", string(f)))
 		defer jsp.End()
 		h := p.PerSw[f]
-		t, err := memo.BuildTopo(f, p.Servers/h, p.Radix, h, p.Seed, jo)
+		t, cached, err := memo.BuildTopoCached(f, p.Servers/h, p.Radix, h, p.Seed, jo)
 		if err != nil {
 			return err
 		}
+		run.MarkCached(i, cached)
 		row, err := table5Row(string(f), t, p.Seed, jo)
 		if err != nil {
 			return err

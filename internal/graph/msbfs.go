@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Bitset is a flat row of 64-bit words. The multi-source BFS kernel keeps
@@ -165,6 +166,15 @@ func clampWorkers(workers, jobs int) int {
 // the sweep stops early — remaining sources may be skipped — and the
 // error with the lowest source index among those observed is returned.
 func (g *Graph) MultiBFSRows(sources []int, workers int, fill func(i int, dist []int32) error) error {
+	return g.MultiBFSRowsTimed(sources, workers, fill, nil)
+}
+
+// MultiBFSRowsTimed is MultiBFSRows with a per-batch timing hook:
+// onBatch(sources, d) is called after each completed batch (or scalar
+// row) with the number of sources it covered and its wall-clock
+// duration, including the fill calls. onBatch may be called concurrently
+// from different workers; nil means no timing (and no clock reads).
+func (g *Graph) MultiBFSRowsTimed(sources []int, workers int, fill func(i int, dist []int32) error, onBatch func(sources int, d time.Duration)) error {
 	ns := len(sources)
 	if ns == 0 || g.n == 0 {
 		return nil
@@ -193,6 +203,10 @@ func (g *Graph) MultiBFSRows(sources []int, workers int, fill func(i int, dist [
 		stop.Store(true)
 	}
 	runJob := func(job int, a *msArena) {
+		var t0 time.Time
+		if onBatch != nil {
+			t0 = time.Now()
+		}
 		if batch {
 			lo := job * msbfsLanes
 			hi := lo + msbfsLanes
@@ -206,11 +220,18 @@ func (g *Graph) MultiBFSRows(sources []int, workers int, fill func(i int, dist [
 					return
 				}
 			}
+			if onBatch != nil {
+				onBatch(hi-lo, time.Since(t0))
+			}
 			return
 		}
 		a.rows = g.BFS(sources[job], a.rows)
 		if err := fill(job, a.rows); err != nil {
 			record(job, err)
+			return
+		}
+		if onBatch != nil {
+			onBatch(1, time.Since(t0))
 		}
 	}
 

@@ -2,6 +2,7 @@ package mcf
 
 import (
 	"math"
+	"time"
 
 	"dctopo/obs"
 )
@@ -144,8 +145,12 @@ func (inst *instance) solveGKIncremental(eps float64, workers, maxPhases int, o 
 	var obsLoad []float64
 	var obsLambda float64
 	round, phase, phasesDone := 0, 0, 0
+	var roundHist *obs.Histogram
+	var roundStart time.Time
 	if o != nil {
 		obsLoad = make([]float64, inst.numEdges)
+		roundHist = o.Histogram("mcf.gk.round")
+		roundStart = time.Now()
 	}
 
 	// modeSkip predicts whether skip-mode scanning wins this round. The
@@ -340,6 +345,9 @@ func (inst *instance) solveGKIncremental(eps float64, workers, maxPhases int, o 
 			active = keep
 			if o != nil {
 				round++
+				now := time.Now()
+				roundHist.ObserveNs(int64(now.Sub(roundStart)))
+				roundStart = now
 				if len(active) == 0 {
 					phasesDone = phase
 				}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"dctopo/internal/lp"
 	"dctopo/obs"
@@ -378,8 +379,12 @@ func (inst *instance) solveGKSimple(eps float64, workers, maxPhases int, o *obs.
 	var obsLoad []float64
 	var obsLambda float64
 	round, phase, phasesDone := 0, 0, 0
+	var roundHist *obs.Histogram
+	var roundStart time.Time
 	if o != nil {
 		obsLoad = make([]float64, inst.numEdges)
+		roundHist = o.Histogram("mcf.gk.round")
+		roundStart = time.Now()
 	}
 
 	// scan picks the cheapest path of each active demand in [lo, hi)
@@ -461,6 +466,9 @@ func (inst *instance) solveGKSimple(eps float64, workers, maxPhases int, o *obs.
 			active = keep
 			if o != nil {
 				round++
+				now := time.Now()
+				roundHist.ObserveNs(int64(now.Sub(roundStart)))
+				roundStart = now
 				if len(active) == 0 {
 					phasesDone = phase
 				}

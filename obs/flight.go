@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Flight is an always-on flight recorder: a fixed-size lock-free ring
+// sink that retains the most recent events and discards the rest. It is
+// cheap enough to leave installed for a whole heavy run (one ticket
+// fetch-add plus one pointer store per event) and is read only when
+// something goes wrong — a SIGQUIT on a hung run, a deadline overrun, a
+// panic — at which point WriteDump renders the retained timeline as
+// JSONL together with a metrics snapshot and goroutine stacks.
+//
+// The ring is a power-of-two slice of atomic pointers indexed by a
+// monotonically increasing ticket: writers never block, never take a
+// lock, and never tear an event (each slot swap is a single pointer
+// store of an immutable record). Readers (Events, WriteDump) may run
+// concurrently with writers; they observe some consistent recent window.
+// Events evicted by wraparound are counted, not silently lost — see
+// Dropped.
+type Flight struct {
+	slots []atomic.Pointer[flightRec]
+	mask  uint64
+	next  atomic.Uint64
+}
+
+// flightRec pairs an event with its global ticket so a dump can restore
+// emission order after wraparound.
+type flightRec struct {
+	seq uint64
+	ev  Event
+}
+
+// DefaultFlightSize is the default ring capacity (events).
+const DefaultFlightSize = 1 << 16
+
+// NewFlight returns a flight recorder retaining the last size events
+// (rounded up to a power of two; <= 0 means DefaultFlightSize).
+func NewFlight(size int) *Flight {
+	if size <= 0 {
+		size = DefaultFlightSize
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &Flight{slots: make([]atomic.Pointer[flightRec], n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring capacity.
+func (f *Flight) Cap() int { return len(f.slots) }
+
+// Emit records the event, overwriting the oldest retained event once the
+// ring is full. Safe for concurrent use; never blocks.
+func (f *Flight) Emit(e Event) {
+	seq := f.next.Add(1) - 1
+	f.slots[seq&f.mask].Store(&flightRec{seq: seq, ev: e})
+}
+
+// Total returns how many events have ever been emitted.
+func (f *Flight) Total() uint64 { return f.next.Load() }
+
+// Dropped returns how many events have been evicted by ring wraparound.
+func (f *Flight) Dropped() uint64 {
+	if t, c := f.next.Load(), uint64(len(f.slots)); t > c {
+		return t - c
+	}
+	return 0
+}
+
+// Events returns the retained events in emission order (oldest first).
+func (f *Flight) Events() []Event {
+	total := f.next.Load()
+	var min uint64
+	if c := uint64(len(f.slots)); total > c {
+		min = total - c
+	}
+	recs := make([]*flightRec, 0, len(f.slots))
+	for i := range f.slots {
+		if r := f.slots[i].Load(); r != nil && r.seq >= min {
+			recs = append(recs, r)
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+	out := make([]Event, len(recs))
+	for i, r := range recs {
+		out[i] = r.ev
+	}
+	return out
+}
+
+// flightHeader is the first line of a flight dump.
+type flightHeader struct {
+	Type       string  `json:"type"` // "flight"
+	TS         string  `json:"ts"`
+	Reason     string  `json:"reason,omitempty"`
+	Events     int     `json:"events"`
+	Dropped    uint64  `json:"dropped"`
+	Goroutines int     `json:"goroutines"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	HeapAlloc  uint64  `json:"heap_alloc_bytes"`
+	HeapSys    uint64  `json:"heap_sys_bytes"`
+	NumGC      uint32  `json:"num_gc"`
+	GCPauseMs  float64 `json:"gc_pause_total_ms"`
+}
+
+// WriteDump renders the retained timeline as JSONL: a header line with
+// dropped-count accounting and runtime.MemStats, one "metrics" line with
+// the registry snapshot (counters, gauges and histogram quantiles; reg
+// may be nil), the retained events oldest-first in the same schema the
+// JSONL sink writes, and a final "stacks" line with every goroutine's
+// stack — the line that turns "the run hung" into a diagnosis. reason
+// tags the header with what triggered the dump (sigquit, deadline,
+// panic, exit).
+func (f *Flight) WriteDump(w io.Writer, reason string, reg *Registry) error {
+	events := f.Events()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	hdr := flightHeader{
+		Type:       "flight",
+		TS:         time.Now().UTC().Format(time.RFC3339Nano),
+		Reason:     reason,
+		Events:     len(events),
+		Dropped:    f.Dropped(),
+		Goroutines: runtime.NumGoroutine(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		HeapAlloc:  ms.HeapAlloc,
+		HeapSys:    ms.HeapSys,
+		NumGC:      ms.NumGC,
+		GCPauseMs:  float64(ms.PauseTotalNs) / 1e6,
+	}
+	if err := writeJSONLine(w, hdr); err != nil {
+		return err
+	}
+	if snap := reg.Snapshot(); snap != nil {
+		if err := writeJSONLine(w, struct {
+			Type    string             `json:"type"`
+			Metrics map[string]float64 `json:"metrics"`
+		}{"metrics", snap}); err != nil {
+			return err
+		}
+	}
+	for i := range events {
+		if err := writeJSONLine(w, eventRecord(&events[i])); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	return writeJSONLine(w, struct {
+		Type   string `json:"type"`
+		Stacks string `json:"stacks"`
+	}{"stacks", string(buf)})
+}
+
+func writeJSONLine(w io.Writer, v interface{}) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// SampleRuntime records process-health gauges into the handle's
+// registry: runtime.goroutines, runtime.heap_alloc_bytes,
+// runtime.heap_sys_bytes, runtime.num_gc and runtime.gc_pause_total_ms.
+// Nil-safe.
+func (o *Obs) SampleRuntime() {
+	if o == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg := &o.core.reg
+	reg.Gauge("runtime.goroutines").Set(float64(runtime.NumGoroutine()))
+	reg.Gauge("runtime.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	reg.Gauge("runtime.heap_sys_bytes").Set(float64(ms.HeapSys))
+	reg.Gauge("runtime.num_gc").Set(float64(ms.NumGC))
+	reg.Gauge("runtime.gc_pause_total_ms").Set(float64(ms.PauseTotalNs) / 1e6)
+}
+
+// StartRuntimeSampler samples the runtime gauges (see SampleRuntime)
+// once immediately and then every interval (<= 0 means 1s) on a
+// background ticker, so a flight dump taken at any moment carries a
+// recent memory/goroutine reading. The returned stop function halts the
+// ticker; it is idempotent. On a nil handle the sampler is inert.
+func (o *Obs) StartRuntimeSampler(interval time.Duration) (stop func()) {
+	if o == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	o.SampleRuntime()
+	done := make(chan struct{})
+	var stopped atomic.Bool
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				o.SampleRuntime()
+			}
+		}
+	}()
+	return func() {
+		if stopped.CompareAndSwap(false, true) {
+			close(done)
+		}
+	}
+}
+
+// String summarizes the recorder state (for -v teardown lines).
+func (f *Flight) String() string {
+	return fmt.Sprintf("flight[%d/%d events, %d dropped]", len(f.Events()), f.Cap(), f.Dropped())
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightSizing(t *testing.T) {
+	if c := NewFlight(0).Cap(); c != DefaultFlightSize {
+		t.Fatalf("default cap = %d", c)
+	}
+	if c := NewFlight(100).Cap(); c != 128 {
+		t.Fatalf("cap(100) = %d, want 128 (power-of-two round-up)", c)
+	}
+	if c := NewFlight(64).Cap(); c != 64 {
+		t.Fatalf("cap(64) = %d", c)
+	}
+}
+
+// TestFlightWraparound: the ring retains exactly the newest cap events
+// in order and accounts for every evicted one.
+func TestFlightWraparound(t *testing.T) {
+	f := NewFlight(8)
+	const n = 21
+	for i := 0; i < n; i++ {
+		f.Emit(Event{Kind: KindPoint, Name: "e", Attrs: []Attr{Int("i", i)}})
+	}
+	if f.Total() != n {
+		t.Fatalf("total = %d", f.Total())
+	}
+	if f.Dropped() != n-8 {
+		t.Fatalf("dropped = %d, want %d", f.Dropped(), n-8)
+	}
+	ev := f.Events()
+	if len(ev) != 8 {
+		t.Fatalf("retained %d events, want 8", len(ev))
+	}
+	for k, e := range ev {
+		if v, _ := e.Attr("i"); v.(int64) != int64(n-8+k) {
+			t.Fatalf("event %d carries i=%v, want %d (oldest-first order)", k, v, n-8+k)
+		}
+	}
+}
+
+func TestFlightNoDropUnderCap(t *testing.T) {
+	f := NewFlight(16)
+	for i := 0; i < 10; i++ {
+		f.Emit(Event{Kind: KindPoint, Name: "e"})
+	}
+	if f.Dropped() != 0 {
+		t.Fatalf("dropped = %d before wraparound", f.Dropped())
+	}
+	if len(f.Events()) != 10 {
+		t.Fatalf("retained %d, want 10", len(f.Events()))
+	}
+}
+
+// TestFlightConcurrent hammers the ring from many goroutines
+// (meaningful under -race; the reader runs concurrently with writers).
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlight(64)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() { // concurrent reader
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				f.Events()
+				f.Dropped()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.Emit(Event{Kind: KindPoint, Name: "e", Attrs: []Attr{Int("w", w)}})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if f.Total() != workers*per {
+		t.Fatalf("total = %d, want %d", f.Total(), workers*per)
+	}
+	if f.Dropped() != workers*per-64 {
+		t.Fatalf("dropped = %d, want %d", f.Dropped(), workers*per-64)
+	}
+	// A delayed writer can leave a slot holding a pre-window record
+	// (which Events filters out), so <= cap rather than == cap.
+	ev := f.Events()
+	if len(ev) == 0 || len(ev) > 64 {
+		t.Fatalf("retained %d, want 1..64", len(ev))
+	}
+}
+
+// TestFlightAsSink: a Flight installed as an Obs sink records the span
+// timeline like any other sink.
+func TestFlightAsSink(t *testing.T) {
+	f := NewFlight(16)
+	o := New(f)
+	co, sp := o.Start("tub.bound")
+	co.Point("mcf.round", Int("round", 1))
+	sp.End()
+	ev := f.Events()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events, want 3", len(ev))
+	}
+	if ev[0].Kind != KindSpanStart || ev[1].Kind != KindPoint || ev[2].Kind != KindSpanEnd {
+		t.Fatalf("wrong kinds: %v %v %v", ev[0].Kind, ev[1].Kind, ev[2].Kind)
+	}
+}
+
+// TestFlightWriteDump parses a dump line by line: header, metrics,
+// events in trace schema, stacks.
+func TestFlightWriteDump(t *testing.T) {
+	f := NewFlight(8)
+	o := New(f)
+	o.Counter("expt.memo.hits").Add(3)
+	co, sp := o.Start("mcf.solve")
+	co.Point("mcf.round", Int("round", 1))
+	sp.End(Float("theta", 0.5))
+	o.SampleRuntime()
+
+	var buf bytes.Buffer
+	if err := f.WriteDump(&buf, "test", o.Registry()); err != nil {
+		t.Fatalf("WriteDump: %v", err)
+	}
+	var lines []map[string]interface{}
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var m map[string]interface{}
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("invalid dump line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2+3+1 { // header, metrics, 3 events, stacks
+		t.Fatalf("got %d lines, want 6", len(lines))
+	}
+	hdr := lines[0]
+	if hdr["type"] != "flight" || hdr["reason"] != "test" {
+		t.Fatalf("header: %v", hdr)
+	}
+	if hdr["events"].(float64) != 3 || hdr["dropped"].(float64) != 0 {
+		t.Fatalf("header accounting: %v", hdr)
+	}
+	if hdr["goroutines"].(float64) < 1 || hdr["heap_alloc_bytes"].(float64) <= 0 {
+		t.Fatalf("header runtime stats: %v", hdr)
+	}
+	metrics, ok := lines[1]["metrics"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("metrics line: %v", lines[1])
+	}
+	if metrics["expt.memo.hits"].(float64) != 3 {
+		t.Fatalf("counter missing from metrics: %v", metrics)
+	}
+	if _, ok := metrics["mcf.solve.p50_ms"]; !ok {
+		t.Fatalf("histogram stats missing from metrics: %v", metrics)
+	}
+	if _, ok := metrics["runtime.goroutines"]; !ok {
+		t.Fatalf("runtime gauges missing from metrics: %v", metrics)
+	}
+	if lines[2]["type"] != "span_start" || lines[3]["type"] != "point" || lines[4]["type"] != "span_end" {
+		t.Fatalf("event lines: %v %v %v", lines[2]["type"], lines[3]["type"], lines[4]["type"])
+	}
+	if lines[4]["attrs"].(map[string]interface{})["theta"] != 0.5 {
+		t.Fatalf("span_end attrs: %v", lines[4])
+	}
+	stacks := lines[5]
+	if stacks["type"] != "stacks" || !bytes.Contains([]byte(stacks["stacks"].(string)), []byte("goroutine")) {
+		t.Fatalf("stacks line: %.80v", stacks)
+	}
+}
+
+// TestFlightDumpNilRegistry: a dump without a registry still works (no
+// metrics line).
+func TestFlightDumpNilRegistry(t *testing.T) {
+	f := NewFlight(8)
+	f.Emit(Event{Kind: KindPoint, Name: "e", Time: time.Now()})
+	var buf bytes.Buffer
+	if err := f.WriteDump(&buf, "exit", nil); err != nil {
+		t.Fatalf("WriteDump: %v", err)
+	}
+	got := bytes.Count(buf.Bytes(), []byte("\n"))
+	if got != 3 { // header, 1 event, stacks
+		t.Fatalf("got %d lines, want 3:\n%s", got, buf.String())
+	}
+}
+
+// TestFlightEmitAllocs: the ring costs one record allocation per event
+// and nothing more — cheap enough to stay installed for a whole run.
+func TestFlightEmitAllocs(t *testing.T) {
+	f := NewFlight(1024)
+	e := Event{Kind: KindPoint, Name: "e"}
+	if allocs := testing.AllocsPerRun(1000, func() { f.Emit(e) }); allocs > 1 {
+		t.Fatalf("Emit allocates %.1f/op, want <= 1", allocs)
+	}
+}
+
+func TestRuntimeSampler(t *testing.T) {
+	o := New()
+	stop := o.StartRuntimeSampler(time.Hour) // samples once immediately
+	defer stop()
+	snap := o.Registry().Snapshot()
+	for _, k := range []string{"runtime.goroutines", "runtime.heap_alloc_bytes", "runtime.heap_sys_bytes", "runtime.num_gc", "runtime.gc_pause_total_ms"} {
+		if _, ok := snap[k]; !ok {
+			t.Errorf("gauge %s not sampled", k)
+		}
+	}
+	if snap["runtime.goroutines"] < 1 {
+		t.Fatalf("goroutines = %v", snap["runtime.goroutines"])
+	}
+	stop()
+	stop() // idempotent
+}
+
+func TestFlightString(t *testing.T) {
+	f := NewFlight(8)
+	for i := 0; i < 10; i++ {
+		f.Emit(Event{Kind: KindPoint, Name: "e"})
+	}
+	want := fmt.Sprintf("flight[%d/%d events, %d dropped]", 8, 8, 2)
+	if got := f.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free latency histogram with logarithmic buckets:
+// two buckets per octave (HDR-style, boundaries at 1µs·2^(i/2)) spanning
+// 1µs to just over an hour, plus an underflow bucket (≤ 1µs) and an
+// overflow bucket. Recording is a couple of atomic adds — safe for
+// concurrent use from any number of goroutines and allocation-free — so
+// it can sit inside solver round loops. The nil *Histogram (what a nil
+// *Obs hands out) is valid and inert.
+//
+// Histograms live in the per-Obs Registry next to counters and gauges;
+// every Span.End records its duration into the histogram named after the
+// span, so span latencies (tub.match, mcf.solve, fig3.job, ...)
+// accumulate without explicit instrumentation. Registry.Snapshot exposes
+// count/sum/p50/p95/p99/max per histogram through the same expvar path
+// as the scalar metrics.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// histBuckets is the bucket count: 65 bounded buckets (boundaries
+// histBounds[0..64], ~1µs to ~71min in half-octave steps) plus one
+// overflow bucket.
+const histBuckets = 66
+
+// histMinNs is the upper boundary of bucket 0: 1µs in nanoseconds.
+const histMinNs = 1000
+
+// histBounds[i] is the inclusive upper bound (in ns) of bucket i.
+// b[0] = 1µs, b[1] = 1µs·√2 (rounded), and every bucket doubles its
+// half-octave predecessor, so the boundaries are exact powers of two
+// times 1µs or 1.414µs.
+var histBounds = func() [histBuckets - 1]int64 {
+	var b [histBuckets - 1]int64
+	b[0] = histMinNs
+	b[1] = 1414
+	for i := 2; i < len(b); i++ {
+		b[i] = 2 * b[i-2]
+	}
+	return b
+}()
+
+// histBucketIdx returns the bucket index for a value in nanoseconds.
+// The octave comes from the bit length (1000 has bit length 10), which
+// pins the search to at most three boundary comparisons.
+func histBucketIdx(v int64) int {
+	if v <= histMinNs {
+		return 0
+	}
+	if v > histBounds[len(histBounds)-1] {
+		return histBuckets - 1
+	}
+	i := 2*(bits.Len64(uint64(v-1))-10) - 1
+	if i < 1 {
+		i = 1
+	}
+	for histBounds[i] < v {
+		i++
+	}
+	return i
+}
+
+// histBucketMid returns the representative value (ns) reported for a
+// bucket: the midpoint of its range, its boundary for the underflow
+// bucket, and the last boundary for the overflow bucket (quantiles are
+// additionally clamped to the observed maximum).
+func histBucketMid(i int) int64 {
+	switch {
+	case i <= 0:
+		return histBounds[0]
+	case i >= histBuckets-1:
+		return histBounds[len(histBounds)-1]
+	default:
+		lo, hi := histBounds[i-1], histBounds[i]
+		return lo + (hi-lo)/2
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.ObserveNs(int64(d))
+}
+
+// ObserveNs records one duration given in nanoseconds. Negative values
+// (clock steps) are recorded as zero.
+func (h *Histogram) ObserveNs(ns int64) {
+	if h == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[histBucketIdx(ns)].Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a point-in-time copy of the histogram. Under
+// concurrent recording the copy is not a single atomic cut — counts,
+// sum and max are read independently — but every completed Observe
+// before the call is included.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a Histogram's state. The
+// zero value is an empty snapshot; snapshots from different histograms
+// (or different processes) merge losslessly because all histograms share
+// the same fixed bucket boundaries.
+type HistogramSnapshot struct {
+	// Count is the number of recorded observations.
+	Count uint64
+	// Sum is the sum of all observations in nanoseconds.
+	Sum int64
+	// Max is the largest observation in nanoseconds.
+	Max int64
+	// Counts holds the per-bucket observation counts.
+	Counts [histBuckets]uint64
+}
+
+// Merge folds other into s (bucket-wise sum; max of maxes).
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += other.Counts[i]
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+}
+
+// Quantile returns the q-quantile (q in [0,1]) in nanoseconds: the
+// representative value of the bucket holding the ceil(q·count)-th
+// observation, clamped to the observed maximum. Returns 0 on an empty
+// snapshot. Log buckets bound the relative error at ~±19% (half an
+// octave step); the tracked Max keeps the upper tail exact.
+func (s *HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			v := histBucketMid(i)
+			if s.Max > 0 && v > s.Max {
+				v = s.Max
+			}
+			return v
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the mean observation in nanoseconds (0 when empty).
+func (s *HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistBucketBoundaries pins the log-bucket layout: bucket i covers
+// (histBounds[i-1], histBounds[i]] with half-octave boundaries, so a
+// value on a boundary lands in the lower bucket and one past it in the
+// next.
+func TestHistBucketBoundaries(t *testing.T) {
+	if histBounds[0] != 1000 || histBounds[1] != 1414 {
+		t.Fatalf("first bounds = %d, %d", histBounds[0], histBounds[1])
+	}
+	// Exact doubling per octave.
+	for i := 2; i < len(histBounds); i++ {
+		if histBounds[i] != 2*histBounds[i-2] {
+			t.Fatalf("bound[%d]=%d != 2*bound[%d]=%d", i, histBounds[i], i-2, 2*histBounds[i-2])
+		}
+	}
+	// The bounded range must span the documented 1µs..1h window.
+	if top := histBounds[len(histBounds)-1]; top < int64(time.Hour) {
+		t.Fatalf("top bound %v < 1h", time.Duration(top))
+	}
+	for _, tc := range []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {999, 0}, {1000, 0}, // underflow bucket
+		{1001, 1}, {1414, 1},
+		{1415, 2}, {2000, 2},
+		{2001, 3}, {2828, 3},
+		{2829, 4}, {4000, 4},
+		{int64(time.Second), histBucketIdx(int64(time.Second))},
+		{histBounds[len(histBounds)-1], histBuckets - 2},
+		{histBounds[len(histBounds)-1] + 1, histBuckets - 1}, // overflow
+		{1 << 62, histBuckets - 1},
+	} {
+		if got := histBucketIdx(tc.v); got != tc.want {
+			t.Errorf("histBucketIdx(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	// Exhaustive consistency check across every boundary: a bound maps to
+	// its own bucket, one past it to the next.
+	for i, b := range histBounds {
+		if got := histBucketIdx(b); got != i {
+			t.Fatalf("bound %d maps to bucket %d, want %d", b, got, i)
+		}
+		if got := histBucketIdx(b + 1); got != i+1 {
+			t.Fatalf("bound %d+1 maps to bucket %d, want %d", b, got, i+1)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations of ~1ms, 10 of ~100ms: p50 in the 1ms bucket,
+	// p95 and p99 in the 100ms bucket, max exact.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 110 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Max != int64(100*time.Millisecond) {
+		t.Fatalf("max = %d", s.Max)
+	}
+	wantSum := 100*int64(time.Millisecond) + 10*int64(100*time.Millisecond)
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", s.Sum, wantSum)
+	}
+	p50 := s.Quantile(0.50)
+	if p50 < int64(time.Millisecond)/2 || p50 > 2*int64(time.Millisecond) {
+		t.Fatalf("p50 = %v, want ~1ms", time.Duration(p50))
+	}
+	for _, q := range []float64{0.95, 0.99} {
+		v := s.Quantile(q)
+		if v < int64(50*time.Millisecond) || v > int64(100*time.Millisecond) {
+			t.Fatalf("q%.0f = %v, want ~100ms", 100*q, time.Duration(v))
+		}
+	}
+	// Quantiles are clamped to the observed max, never above it.
+	if s.Quantile(1) > s.Max {
+		t.Fatalf("p100 = %d above max %d", s.Quantile(1), s.Max)
+	}
+	if got := s.Mean(); got != float64(wantSum)/110 {
+		t.Fatalf("mean = %v", got)
+	}
+	// Empty snapshot.
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty snapshot quantile/mean nonzero")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 10; i++ {
+		a.Observe(time.Millisecond)
+	}
+	for i := 0; i < 5; i++ {
+		b.Observe(time.Second)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 15 {
+		t.Fatalf("merged count = %d", sa.Count)
+	}
+	if sa.Max != int64(time.Second) {
+		t.Fatalf("merged max = %d", sa.Max)
+	}
+	if sa.Sum != 10*int64(time.Millisecond)+5*int64(time.Second) {
+		t.Fatalf("merged sum = %d", sa.Sum)
+	}
+	// Merge must be bucket-wise: a combined histogram built directly
+	// from all 15 observations matches exactly.
+	var c Histogram
+	for i := 0; i < 10; i++ {
+		c.Observe(time.Millisecond)
+	}
+	for i := 0; i < 5; i++ {
+		c.Observe(time.Second)
+	}
+	if sc := c.Snapshot(); sc.Counts != sa.Counts {
+		t.Fatalf("merged counts diverge from direct recording")
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines
+// (meaningful under -race) and checks nothing is lost.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveNs(int64(1000 * (w + 1)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	if s.Max != 1000*workers {
+		t.Fatalf("max = %d, want %d", s.Max, 1000*workers)
+	}
+}
+
+// TestHistogramObserveZeroAllocs: recording must be allocation-free on
+// both the live and the nil paths — it sits inside solver round loops.
+func TestHistogramObserveZeroAllocs(t *testing.T) {
+	var h Histogram
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(time.Millisecond) }); allocs != 0 {
+		t.Fatalf("live Observe allocates %.1f/op", allocs)
+	}
+	var nilH *Histogram
+	if allocs := testing.AllocsPerRun(1000, func() { nilH.Observe(time.Millisecond) }); allocs != 0 {
+		t.Fatalf("nil Observe allocates %.1f/op", allocs)
+	}
+}
+
+// TestSpanEndFeedsHistogram: ending a span records its duration into the
+// registry histogram named after the span, even with no sinks attached.
+func TestSpanEndFeedsHistogram(t *testing.T) {
+	o := New() // no sinks: registry-only handle, as used by -metrics
+	_, sp := o.Start("tub.match")
+	sp.End()
+	s := o.Histogram("tub.match").Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("span end not recorded: count = %d", s.Count)
+	}
+	snap := o.Registry().Snapshot()
+	if _, ok := snap["tub.match.count"]; !ok {
+		t.Fatalf("derived histogram stats missing from snapshot: %v", snap)
+	}
+	for _, k := range []string{"tub.match.p50_ms", "tub.match.p95_ms", "tub.match.p99_ms", "tub.match.max_ms", "tub.match.sum_ms"} {
+		if _, ok := snap[k]; !ok {
+			t.Errorf("snapshot missing %s", k)
+		}
+	}
+}

@@ -53,12 +53,13 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// Registry holds named counters and gauges. The zero value is ready; all
-// methods are safe for concurrent use.
+// Registry holds named counters, gauges and histograms. The zero value
+// is ready; all methods are safe for concurrent use.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -91,37 +92,95 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
-// Snapshot returns the current value of every metric, counters and
-// gauges merged into one map.
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists == nil {
+		r.hists = make(map[string]*Histogram)
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = new(Histogram)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Histograms returns a snapshot of every registered histogram by name.
+func (r *Registry) Histograms() map[string]HistogramSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+	out := make(map[string]HistogramSnapshot, len(hists))
+	for name, h := range hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// histStatKeys are the derived per-histogram entries of Snapshot/Names,
+// appended to the histogram name.
+var histStatKeys = [...]string{".count", ".sum_ms", ".p50_ms", ".p95_ms", ".p99_ms", ".max_ms"}
+
+// histStats fills the six derived entries for one histogram snapshot.
+func histStats(out map[string]float64, name string, s HistogramSnapshot) {
+	out[name+".count"] = float64(s.Count)
+	out[name+".sum_ms"] = float64(s.Sum) / 1e6
+	out[name+".p50_ms"] = float64(s.Quantile(0.50)) / 1e6
+	out[name+".p95_ms"] = float64(s.Quantile(0.95)) / 1e6
+	out[name+".p99_ms"] = float64(s.Quantile(0.99)) / 1e6
+	out[name+".max_ms"] = float64(s.Max) / 1e6
+}
+
+// Snapshot returns the current value of every metric merged into one
+// map: counters and gauges under their own names, histograms as six
+// derived entries each (<name>.count, .sum_ms, .p50_ms, .p95_ms,
+// .p99_ms, .max_ms).
 func (r *Registry) Snapshot() map[string]float64 {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]float64, len(r.counters)+len(r.gauges))
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+len(histStatKeys)*len(r.hists))
 	for name, c := range r.counters {
 		out[name] = float64(c.Value())
 	}
 	for name, g := range r.gauges {
 		out[name] = g.Value()
 	}
+	for name, h := range r.hists {
+		histStats(out, name, h.Snapshot())
+	}
 	return out
 }
 
-// Names returns the sorted metric names (for stable rendering).
+// Names returns the sorted metric names (for stable rendering), matching
+// the keys of Snapshot.
 func (r *Registry) Names() []string {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	names := make([]string, 0, len(r.counters)+len(r.gauges))
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(histStatKeys)*len(r.hists))
 	for name := range r.counters {
 		names = append(names, name)
 	}
 	for name := range r.gauges {
 		names = append(names, name)
+	}
+	for name := range r.hists {
+		for _, k := range histStatKeys {
+			names = append(names, name+k)
+		}
 	}
 	sort.Strings(names)
 	return names

@@ -143,6 +143,13 @@ func (e *Event) Float(key string) float64 {
 
 // Sink receives events. Implementations must be safe for concurrent use;
 // Emit is called inline from instrumented code, so it should be cheap.
+//
+// A sink that buffers output or owns a resource should additionally
+// implement io.Closer. The owner of the sink — whoever constructed it
+// and handed it to New — is responsible for calling Close once the run
+// is over (cmd/topobench does this in its sink teardown); Close flushes
+// anything buffered and releases the underlying resource. Emit must not
+// be called after Close.
 type Sink interface {
 	Emit(Event)
 }
@@ -214,7 +221,10 @@ func (o *Obs) start(name string, attrs []Attr) (*Obs, *Span) {
 }
 
 // End closes the span, emitting its wall-clock duration plus any final
-// attributes.
+// attributes. The duration is also recorded into the registry histogram
+// named after the span, so latency distributions (count, p50/p95/p99,
+// max) accumulate for every span name without explicit instrumentation
+// — even on a handle with no sinks, where only the registry is live.
 func (s *Span) End(attrs ...Attr) {
 	if s == nil {
 		return
@@ -223,17 +233,19 @@ func (s *Span) End(attrs ...Attr) {
 }
 
 func (s *Span) end(attrs []Attr) {
+	now := time.Now()
+	dur := now.Sub(s.start)
+	s.core.reg.Histogram(s.name).ObserveNs(int64(dur))
 	if len(s.core.sinks) == 0 {
 		return
 	}
-	now := time.Now()
 	s.core.emit(Event{
 		Time:   now,
 		Kind:   KindSpanEnd,
 		Span:   s.id,
 		Parent: s.parent,
 		Name:   s.name,
-		Dur:    now.Sub(s.start),
+		Dur:    dur,
 		Attrs:  copyAttrs(attrs),
 	})
 }
@@ -260,24 +272,29 @@ func (o *Obs) point(name string, attrs []Attr) {
 }
 
 // Progress emits a done/total tick for a named stage (rendered with an
-// ETA by ProgressLogger).
-func (o *Obs) Progress(stage string, done, total int) {
+// ETA by ProgressLogger). Extra attributes ride on the tick; the
+// Bool("cached") attribute marks a completion that was served from a
+// cache, which ProgressLogger excludes from its ETA rate.
+func (o *Obs) Progress(stage string, done, total int, attrs ...Attr) {
 	if o == nil {
 		return
 	}
-	o.progress(stage, done, total)
+	o.progress(stage, done, total, attrs)
 }
 
-func (o *Obs) progress(stage string, done, total int) {
+func (o *Obs) progress(stage string, done, total int, attrs []Attr) {
 	if len(o.core.sinks) == 0 {
 		return
 	}
+	as := make([]Attr, 0, 2+len(attrs))
+	as = append(as, Int("done", done), Int("total", total))
+	as = append(as, attrs...)
 	o.core.emit(Event{
 		Time:  time.Now(),
 		Kind:  KindProgress,
 		Span:  o.span,
 		Name:  stage,
-		Attrs: []Attr{Int("done", done), Int("total", total)},
+		Attrs: as,
 	})
 }
 
@@ -297,6 +314,18 @@ func (o *Obs) Gauge(name string) *Gauge {
 		return nil
 	}
 	return o.core.reg.Gauge(name)
+}
+
+// Histogram returns the named latency histogram from the handle's
+// registry (nil — and still usable — on a nil handle). Span ends feed
+// histograms automatically; this accessor is for explicit Observe
+// points inside loops that are too hot, or too fine-grained, for spans
+// (solver rounds, auction phases, BFS batches).
+func (o *Obs) Histogram(name string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.core.reg.Histogram(name)
 }
 
 // Registry returns the handle's metric registry (nil on a nil handle).

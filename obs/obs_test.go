@@ -4,6 +4,7 @@ import (
 	"expvar"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestSpanNesting(t *testing.T) {
@@ -74,11 +75,17 @@ func TestNilObsIsInert(t *testing.T) {
 	}
 	sp.End(Float("f", 1))
 	co.Point("p")
-	co.Progress("stage", 1, 2)
+	co.Progress("stage", 1, 2, Bool("cached", true))
 	o.Counter("c").Add(5)
 	o.Gauge("g").Set(1)
+	o.Histogram("h").Observe(time.Millisecond)
+	o.SampleRuntime()
+	o.StartRuntimeSampler(0)()
 	if o.Counter("c").Value() != 0 || o.Gauge("g").Value() != 0 {
 		t.Fatal("nil metrics not inert")
+	}
+	if s := o.Histogram("h").Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram not inert")
 	}
 	if o.Registry() != nil || o.Registry().Snapshot() != nil {
 		t.Fatal("nil registry not inert")
@@ -95,12 +102,14 @@ func TestNoopZeroAllocs(t *testing.T) {
 	var o *Obs
 	c := o.Counter("hot")
 	g := o.Gauge("hot")
+	h := o.Histogram("hot")
 	allocs := testing.AllocsPerRun(1000, func() {
 		co, sp := o.Start("span", Int("i", 1), Float("f", 2))
 		co.Point("round", Int("round", 3), Float("dual", 0.5))
-		co.Progress("stage", 1, 10)
+		co.Progress("stage", 1, 10, Bool("cached", true))
 		c.Add(1)
 		g.Set(2)
+		h.Observe(time.Millisecond)
 		sp.End(Float("theta", 0.8))
 	})
 	if allocs != 0 {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -18,13 +19,22 @@ import (
 //
 // with attrs (a flat object of string/number/bool values) and ms omitted
 // when empty. Safe for concurrent use; one Emit is one line.
+//
+// Writes are buffered (per-round solver points would otherwise be one
+// syscall each), so the owner MUST call Close — or at least Flush — when
+// the run ends; a trace abandoned without Close loses its buffered tail,
+// up to the last few span_end events. Close also closes w when it
+// implements io.Closer, making the sink the sole owner of a trace file.
 type JSONL struct {
 	mu sync.Mutex
 	w  io.Writer
+	bw *bufio.Writer
 }
 
-// NewJSONL returns a JSONL sink writing to w.
-func NewJSONL(w io.Writer) *JSONL { return &JSONL{w: w} }
+// NewJSONL returns a JSONL sink writing to w through a buffer.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: w, bw: bufio.NewWriterSize(w, 1<<16)}
+}
 
 // jsonlRecord is the wire form of one Event.
 type jsonlRecord struct {
@@ -37,8 +47,9 @@ type jsonlRecord struct {
 	Attrs  map[string]interface{} `json:"attrs,omitempty"`
 }
 
-// Emit writes the event as one JSON line.
-func (j *JSONL) Emit(e Event) {
+// eventRecord converts an Event to its wire form (shared by the JSONL
+// sink and Flight.WriteDump, so flight dumps and traces parse alike).
+func eventRecord(e *Event) jsonlRecord {
 	rec := jsonlRecord{
 		Type:   e.Kind.String(),
 		TS:     e.Time.UTC().Format(time.RFC3339Nano),
@@ -55,24 +66,54 @@ func (j *JSONL) Emit(e Event) {
 			rec.Attrs[a.Key] = a.Value()
 		}
 	}
-	b, err := json.Marshal(rec)
+	return rec
+}
+
+// Emit writes the event as one buffered JSON line.
+func (j *JSONL) Emit(e Event) {
+	b, err := json.Marshal(eventRecord(&e))
 	if err != nil {
 		return
 	}
 	b = append(b, '\n')
 	j.mu.Lock()
-	j.w.Write(b)
+	j.bw.Write(b)
 	j.mu.Unlock()
+}
+
+// Flush writes any buffered lines through to the underlying writer.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.bw.Flush()
+}
+
+// Close flushes the buffer and, when the underlying writer implements
+// io.Closer, closes it too. The first error wins. Emit must not be
+// called after Close.
+func (j *JSONL) Close() error {
+	err := j.Flush()
+	if c, ok := j.w.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // ProgressLogger renders KindProgress events as human-readable lines
 // with percentage and ETA, one stage per line:
 //
 //	fig3  7/21 (33%)  eta 12s
+//	fig3  12/21 (57%, 5 cached)  eta 9s
 //	fig3  21/21 (100%)  done in 18s
 //
-// Updates are throttled to one line per stage per MinInterval (except
-// the final tick, which always prints). Safe for concurrent use.
+// Ticks carrying a true Bool("cached") attribute (completions served
+// from the Memo/Store caches) are counted in done but excluded from the
+// ETA rate — a cache hit finishes in microseconds and says nothing
+// about how long the remaining uncached jobs will take. Updates are
+// throttled to one line per stage per MinInterval (except the final
+// tick, which always prints). Safe for concurrent use.
 type ProgressLogger struct {
 	// MinInterval throttles per-stage output (default 200ms).
 	MinInterval time.Duration
@@ -85,6 +126,7 @@ type ProgressLogger struct {
 type progressStage struct {
 	first     time.Time
 	lastPrint time.Time
+	cached    int
 }
 
 // NewProgressLogger returns a progress sink writing to w.
@@ -109,6 +151,11 @@ func (p *ProgressLogger) Emit(e Event) {
 		st = &progressStage{first: e.Time}
 		p.stages[e.Name] = st
 	}
+	if v, ok := e.Attr("cached"); ok {
+		if b, _ := v.(bool); b {
+			st.cached++
+		}
+	}
 	final := total > 0 && done >= total
 	if !final && e.Time.Sub(st.lastPrint) < p.MinInterval {
 		return
@@ -119,12 +166,17 @@ func (p *ProgressLogger) Emit(e Event) {
 	if total > 0 {
 		pct = 100 * float64(done) / float64(total)
 	}
-	line := fmt.Sprintf("%s  %d/%d (%.0f%%)", e.Name, done, total, pct)
+	line := fmt.Sprintf("%s  %d/%d (%.0f%%", e.Name, done, total, pct)
+	if st.cached > 0 && !final {
+		line += fmt.Sprintf(", %d cached", st.cached)
+	}
+	line += ")"
+	uncached := done - st.cached
 	switch {
 	case final:
 		line += fmt.Sprintf("  done in %s", elapsed.Round(time.Millisecond))
-	case done > 0:
-		eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+	case uncached > 0:
+		eta := time.Duration(float64(elapsed) / float64(uncached) * float64(total-done))
 		line += fmt.Sprintf("  eta %s", eta.Round(time.Second))
 	}
 	fmt.Fprintln(p.w, line)

@@ -13,13 +13,18 @@ import (
 // parses it back, checking the documented schema field by field.
 func TestJSONLRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	o := New(NewJSONL(&buf))
+	j := NewJSONL(&buf)
+	o := New(j)
 	ro, root := o.Start("pipeline", String("family", "jellyfish"))
 	mo, solve := ro.Start("mcf.solve", Int("demands", 4))
 	mo.Point("mcf.round", Int("round", 1), Float("dual", 0.25), Bool("last", false))
 	solve.End(Float("theta", 0.875))
 	ro.Progress("fig3", 1, 2)
 	root.End()
+	// The sink buffers; nothing is guaranteed visible until Close/Flush.
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
 
 	type rec struct {
 		Type   string                 `json:"type"`
@@ -100,6 +105,72 @@ func TestProgressLoggerETA(t *testing.T) {
 	}
 	if !strings.Contains(lines[2], "4/4 (100%)") || !strings.Contains(lines[2], "done in 4s") {
 		t.Fatalf("no completion on final line: %q", lines[2])
+	}
+}
+
+// TestJSONLClose: Close flushes the buffer and closes an underlying
+// io.Closer exactly once.
+func TestJSONLClose(t *testing.T) {
+	cw := &closeCounter{}
+	j := NewJSONL(cw)
+	j.Emit(Event{Kind: KindPoint, Name: "p", Time: time.Now()})
+	if cw.buf.Len() != 0 {
+		t.Fatalf("write not buffered: %d bytes before Close", cw.buf.Len())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if cw.closed != 1 {
+		t.Fatalf("underlying Close called %d times, want 1", cw.closed)
+	}
+	if !strings.Contains(cw.buf.String(), `"name":"p"`) {
+		t.Fatalf("buffered line not flushed: %q", cw.buf.String())
+	}
+}
+
+type closeCounter struct {
+	buf    bytes.Buffer
+	closed int
+}
+
+func (c *closeCounter) Write(p []byte) (int, error) { return c.buf.Write(p) }
+func (c *closeCounter) Close() error                { c.closed++; return nil }
+
+// TestProgressLoggerCachedETA pins the cached-aware ETA: completions
+// tagged cached=true count toward done but not toward the rate, so a
+// burst of cache hits does not fake a wildly optimistic ETA.
+func TestProgressLoggerCachedETA(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgressLogger(&buf)
+	p.MinInterval = 0
+	base := time.Now()
+	emit := func(done int, at time.Duration, cached bool) {
+		p.Emit(Event{Time: base.Add(at), Kind: KindProgress, Name: "fig4",
+			Attrs: []Attr{Int("done", done), Int("total", 10), Bool("cached", cached)}})
+	}
+	emit(1, 0, true)              // instant cache hit
+	emit(2, 2*time.Second, false) // 2s of real work
+	emit(3, 4*time.Second, false) // 2s more
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	// 2 uncached jobs in 4s -> 2s/job; 7 remain -> eta 14s. Counting the
+	// cached hit as real work would give 4/3*7 ≈ 9s instead.
+	if !strings.Contains(lines[2], "3/10") || !strings.Contains(lines[2], "eta 14s") {
+		t.Fatalf("cached-aware ETA wrong: %q", lines[2])
+	}
+	if !strings.Contains(lines[2], "1 cached") {
+		t.Fatalf("cached count not rendered: %q", lines[2])
+	}
+	// All-cached stage: no rate information, so no ETA at all.
+	buf.Reset()
+	p2 := NewProgressLogger(&buf)
+	p2.MinInterval = 0
+	p2.Emit(Event{Time: base, Kind: KindProgress, Name: "tab5",
+		Attrs: []Attr{Int("done", 1), Int("total", 3), Bool("cached", true)}})
+	if out := buf.String(); strings.Contains(out, "eta") {
+		t.Fatalf("ETA printed with zero uncached completions: %q", out)
 	}
 }
 

@@ -5,18 +5,59 @@
 package dctopo_test
 
 import (
+	"os"
 	"testing"
+	"time"
 
 	"dctopo/mcf"
+	"dctopo/obs"
 	"dctopo/topo"
 	"dctopo/traffic"
 	"dctopo/tub"
 )
 
+// dumpFlight20k writes the smoke test's flight ring (plus metric
+// snapshot and runtime gauges) so a CI failure or near-timeout leaves
+// evidence of which stage stalled.
+func dumpFlight20k(t *testing.T, fl *obs.Flight, o *obs.Obs, reason string) {
+	f, err := os.Create("flight-20k.jsonl")
+	if err != nil {
+		t.Logf("flight dump: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := fl.WriteDump(f, reason, o.Registry()); err != nil {
+		t.Logf("flight dump: %v", err)
+		return
+	}
+	t.Logf("flight dump (%s): flight-20k.jsonl — %s", reason, fl)
+}
+
 func TestScale20kSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("20k-switch smoke test skipped in -short mode")
 	}
+	// The whole run is observed through a flight recorder: on failure (or
+	// when TOPOBENCH_FLIGHT_DUMP is set, as in CI) the last events are
+	// dumped to flight-20k.jsonl. A watchdog dumps shortly before the
+	// default 10m test timeout would kill the process without a trace.
+	fl := obs.NewFlight(0)
+	o := obs.New(fl)
+	defer o.StartRuntimeSampler(time.Second)()
+	watchdog := time.AfterFunc(9*time.Minute, func() {
+		o.SampleRuntime()
+		dumpFlight20k(t, fl, o, "watchdog")
+	})
+	defer watchdog.Stop()
+	defer func() {
+		if t.Failed() || os.Getenv("TOPOBENCH_FLIGHT_DUMP") != "" {
+			o.SampleRuntime()
+			dumpFlight20k(t, fl, o, "test-exit")
+		}
+	}()
+
+	so, sp := o.Start("scale.smoke")
+	defer sp.End()
 	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 20000, Radix: 32, Servers: 4, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -24,7 +65,7 @@ func TestScale20kSmoke(t *testing.T) {
 
 	// TUB at 20k hosts: a 400 MB uint8 distance matrix plus the greedy
 	// matcher (AutoMatcher crosses over past autoAuctionMax).
-	res, err := tub.Bound(top, tub.Options{})
+	res, err := tub.Bound(top, tub.Options{Obs: so})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +81,7 @@ func TestScale20kSmoke(t *testing.T) {
 	tm := traffic.RandomPermutation(top, 1)
 	tm = &traffic.Matrix{Switches: tm.Switches, Demands: tm.Demands[:64]}
 	paths := mcf.KShortest(top, tm, 4)
-	th, err := mcf.Throughput(top, tm, paths, mcf.Options{Method: mcf.Approx, Eps: 0.1, MaxPhases: 1})
+	th, err := mcf.Throughput(top, tm, paths, mcf.Options{Method: mcf.Approx, Eps: 0.1, MaxPhases: 1, Obs: so})
 	if err != nil {
 		t.Fatal(err)
 	}

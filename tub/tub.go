@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dctopo/internal/graph"
 	"dctopo/internal/match"
@@ -139,7 +140,15 @@ func Bound(t *topo.Topology, opt Options) (*Result, error) {
 	var bnd float64
 	defer func() { sp.End(obs.Float("bound", bnd)) }()
 	_, dsp := to.Start("tub.dist", obs.String("kernel", distKernel(n)))
-	dist, err := HostDistancesWorkers(t, opt.Workers)
+	// Per-batch BFS durations feed the "tub.dist.batch" histogram (64
+	// sources per batch), resolving where a slow sweep spends its time;
+	// the clock reads are skipped entirely when observability is off.
+	var onBatch func(int, time.Duration)
+	if opt.Obs.Enabled() {
+		bh := opt.Obs.Histogram("tub.dist.batch")
+		onBatch = func(_ int, d time.Duration) { bh.Observe(d) }
+	}
+	dist, err := hostDistances(t, opt.Workers, onBatch)
 	dsp.End()
 	if err != nil {
 		return nil, err
@@ -203,10 +212,18 @@ func Bound(t *topo.Topology, opt Options) (*Result, error) {
 			}
 		}
 		var stats match.AuctionStats
+		// Per-phase durations feed the "tub.match.phase" histogram: the
+		// ε-scaling phases run strictly in sequence, so the gap between
+		// successive OnPhase callbacks is one phase's wall-clock time.
+		ph := opt.Obs.Histogram("tub.match.phase")
+		phaseStart := time.Now()
 		res, stats = match.AuctionSharded(n, weight, match.AuctionOptions{
 			Workers: opt.Workers,
 			Row:     row,
 			OnPhase: func(phase int, eps int64, rounds, bids int) {
+				now := time.Now()
+				ph.ObserveNs(int64(now.Sub(phaseStart)))
+				phaseStart = now
 				mo.Point("tub.match.phase",
 					obs.Int("phase", phase), obs.Int64("eps", eps),
 					obs.Int("rounds", rounds), obs.Int("bids", bids))
@@ -253,6 +270,13 @@ func HostDistances(t *topo.Topology) ([][]uint8, error) {
 // HostDistancesWorkers is HostDistances with an explicit worker count
 // (<= 0 means GOMAXPROCS). The result is identical for any worker count.
 func HostDistancesWorkers(t *topo.Topology, workers int) ([][]uint8, error) {
+	return hostDistances(t, workers, nil)
+}
+
+// hostDistances is the shared implementation behind HostDistances and
+// Bound, with an optional per-batch timing hook (see
+// graph.MultiBFSRowsTimed); nil means no timing.
+func hostDistances(t *topo.Topology, workers int, onBatch func(sources int, d time.Duration)) ([][]uint8, error) {
 	g := t.Graph()
 	hosts := t.Hosts()
 	n := len(hosts)
@@ -265,9 +289,9 @@ func HostDistancesWorkers(t *topo.Topology, workers int) ([][]uint8, error) {
 	for i := range out {
 		out[i] = backing[i*n : (i+1)*n]
 	}
-	err := g.MultiBFSRows(hosts, workers, func(i int, dist []int32) error {
+	err := g.MultiBFSRowsTimed(hosts, workers, func(i int, dist []int32) error {
 		return fillHostRow(out[i], dist, pos)
-	})
+	}, onBatch)
 	if err != nil {
 		return nil, err
 	}
