@@ -164,16 +164,49 @@ type matchBenchReport struct {
 	Speedup map[string]float64 `json:"speedup"`
 }
 
+// whatifBenchEntry is one benchmark record of BENCH_whatif.json: the
+// per-link cost of a failure query with one kernel (the warm
+// incremental engine or a cold tub.Bound on the damaged topology).
+type whatifBenchEntry struct {
+	Name        string  `json:"name"`
+	Switches    int     `json:"switches"`
+	Links       int     `json:"links"` // links measured per op
+	Kernel      string  `json:"kernel"`
+	NsPerOp     float64 `json:"ns_op"` // per link
+	BytesPerOp  int64   `json:"b_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	WeightedLen int64   `json:"weighted_len"` // sum over measured links
+}
+
+// whatifBenchReport is the BENCH_whatif.json document.
+type whatifBenchReport struct {
+	Benchmark string `json:"benchmark"`
+	benchMeta
+	GoMaxProcs int `json:"gomaxprocs"`
+	// BuildNs is the one-time what-if engine construction cost;
+	// TotalLinks the base topology's distinct link bundles (the
+	// amortization basis of a full sweep).
+	BuildNs    float64            `json:"build_ns"`
+	TotalLinks int                `json:"total_links"`
+	Entries    []whatifBenchEntry `json:"entries"`
+	// Speedup maps "switches=N" to cold/warm per-link ratio and
+	// "switches=N/amortized" to the same with the engine build spread
+	// over a full-sweep's links.
+	Speedup map[string]float64 `json:"speedup"`
+}
+
 // cmdBench runs the kernel benchmarks and writes the machine-readable
 // JSON consumed by the CI perf-tracking artifacts: the "msbfs" case
 // (bit-parallel multi-source BFS vs the scalar baseline, BENCH_msbfs.json),
 // the "ksp" case (goal-directed Yen kernel vs the simple baseline,
 // BENCH_ksp.json), the "gk" case (incremental Garg–Könemann scan vs the
-// simple baseline, BENCH_gk.json), and the "matching" case (sharded
-// auction vs Jonker–Volgenant on the TUB bound, BENCH_matching.json).
+// simple baseline, BENCH_gk.json), the "matching" case (sharded
+// auction vs Jonker–Volgenant on the TUB bound, BENCH_matching.json),
+// and the "whatif" case (warm incremental failure queries vs cold
+// recomputation, BENCH_whatif.json).
 func cmdBench(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	cases := fs.String("cases", "msbfs,ksp,gk,matching", "comma-separated benchmark cases to run (msbfs, ksp, gk, matching)")
+	cases := fs.String("cases", "msbfs,ksp,gk,matching,whatif", "comma-separated benchmark cases to run (msbfs, ksp, gk, matching, whatif)")
 	sizes := fs.String("sizes", "1024,2048,4096", "comma-separated Jellyfish switch counts (msbfs case)")
 	radix := fs.Int("radix", 16, "switch radix")
 	servers := fs.Int("servers", 4, "servers per switch")
@@ -189,6 +222,9 @@ func cmdBench(w io.Writer, args []string) error {
 	gkEps := fs.Float64("gk-eps", 0.03, "FPTAS epsilon for the gk case")
 	matchOut := fs.String("matching-o", "BENCH_matching.json", "matching output JSON path (- for stdout)")
 	matchSwitches := fs.Int("matching-switches", 1000, "Jellyfish switch count for the matching case")
+	whatifOut := fs.String("whatif-o", "BENCH_whatif.json", "whatif output JSON path (- for stdout)")
+	whatifSwitches := fs.Int("whatif-switches", 1000, "Jellyfish switch count for the whatif case")
+	whatifLinks := fs.Int("whatif-links", 64, "sampled link removals measured in the whatif case")
 	var rf runFlags
 	rf.register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -200,6 +236,7 @@ func cmdBench(w io.Writer, args []string) error {
 		intFlag{"ksp-pairs", *kspPairs}, intFlag{"gk-switches", *gkSwitches},
 		intFlag{"gk-demands", *gkDemands}, intFlag{"gk-k", *gkK},
 		intFlag{"matching-switches", *matchSwitches},
+		intFlag{"whatif-switches", *whatifSwitches}, intFlag{"whatif-links", *whatifLinks},
 	); err != nil {
 		return err
 	}
@@ -226,9 +263,11 @@ func cmdBench(w io.Writer, args []string) error {
 			err = benchGK(w, *gkSwitches, *radix, *servers, *gkDemands, *gkK, *gkEps, *gkOut)
 		case "matching":
 			err = benchMatching(w, *matchSwitches, *radix, *servers, *matchOut)
+		case "whatif":
+			err = benchWhatIf(w, *whatifSwitches, *radix, *servers, *whatifLinks, *whatifOut)
 		case "":
 		default:
-			err = fmt.Errorf("unknown bench case %q (want msbfs, ksp, gk, or matching)", c)
+			err = fmt.Errorf("unknown bench case %q (want msbfs, ksp, gk, matching, or whatif)", c)
 		}
 		if err != nil {
 			return err
@@ -484,6 +523,129 @@ func benchMatching(w io.Writer, switches, radix, servers int, out string) error 
 		return fmt.Errorf("matchers disagree: auction weighted_len %d != exact %d", weighted[0], weighted[1])
 	}
 	rep.Speedup[fmt.Sprintf("switches=%d", switches)] = perMatcher[1] / perMatcher[0]
+
+	return writeBenchJSON(w, out, &rep, len(rep.Entries))
+}
+
+// benchWhatIf measures single-link failure queries: the warm kernel
+// (one prebuilt tub.WhatIf engine answering QueryLink per link) against
+// the cold kernel (tub.Bound recomputed on each pre-derived damaged
+// topology) over the same deterministic link sample. Both kernels are
+// exact, so their damaged WeightedLen sums must agree; the report also
+// records the one-time engine build cost and the amortized speedup with
+// that build spread over a full sweep of the topology's links.
+func benchWhatIf(w io.Writer, switches, radix, servers, links int, out string) error {
+	t, err := topo.Jellyfish(topo.JellyfishConfig{Switches: switches, Radix: radix, Servers: servers, Seed: 1})
+	if err != nil {
+		return err
+	}
+	type linkID struct{ u, v int }
+	var all []linkID
+	t.Graph().Edges(func(u, v, c int) { all = append(all, linkID{u, v}) })
+	total := len(all)
+	if links > total {
+		links = total
+	}
+	stride := total / links
+	sample := make([]linkID, 0, links)
+	for i := 0; i < links; i++ {
+		sample = append(sample, all[i*stride])
+	}
+	// Pre-derive the damaged topologies so the cold kernel times only the
+	// TUB evaluation (conservative: derivation would also be on the cold
+	// path). A removal that disconnects has no cold Topology; Jellyfish at
+	// this radix never produces one, so treat it as an error.
+	damaged := make([]*topo.Topology, len(sample))
+	for i, l := range sample {
+		if damaged[i], err = t.RemoveLink(l.u, l.v); err != nil {
+			return fmt.Errorf("whatif bench: derive (%d,%d): %w", l.u, l.v, err)
+		}
+	}
+
+	rep := whatifBenchReport{
+		Benchmark:  "WhatIfLink/jellyfish",
+		benchMeta:  currentBenchMeta(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		TotalLinks: total,
+		Speedup:    map[string]float64{},
+	}
+
+	buildStart := time.Now()
+	eng, err := tub.NewWhatIf(t, tub.WhatIfOptions{})
+	if err != nil {
+		return err
+	}
+	rep.BuildNs = float64(time.Since(buildStart).Nanoseconds())
+	fmt.Fprintf(os.Stderr, "whatif switches=%d: engine built in %.2f ms (%d links total)\n",
+		switches, rep.BuildNs/1e6, total)
+
+	warmWL := make([]int64, len(sample))
+	coldWL := make([]int64, len(sample))
+	var perKernel [2]float64
+	for ki, kr := range []struct {
+		name string
+		run  func(i int) (int64, error)
+	}{
+		{"warm", func(i int) (int64, error) {
+			q, err := eng.QueryLink(sample[i].u, sample[i].v)
+			if err != nil {
+				return 0, err
+			}
+			warmWL[i] = q.WeightedLen
+			return q.WeightedLen, nil
+		}},
+		{"cold", func(i int) (int64, error) {
+			res, err := tub.Bound(damaged[i], tub.Options{Matcher: tub.AuctionMatcher})
+			if err != nil {
+				return 0, err
+			}
+			coldWL[i] = res.WeightedLen
+			return res.WeightedLen, nil
+		}},
+	} {
+		var sumWL int64
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sumWL = 0
+				for j := range sample {
+					wl, err := kr.run(j)
+					if err != nil {
+						benchErr = err
+						b.Fatal(err)
+					}
+					sumWL += wl
+				}
+			}
+		})
+		if benchErr != nil {
+			return benchErr
+		}
+		perLink := float64(r.NsPerOp()) / float64(len(sample))
+		perKernel[ki] = perLink
+		rep.Entries = append(rep.Entries, whatifBenchEntry{
+			Name:        fmt.Sprintf("BenchmarkWhatIfLink/switches=%d/kernel=%s", switches, kr.name),
+			Switches:    switches,
+			Links:       len(sample),
+			Kernel:      kr.name,
+			NsPerOp:     perLink,
+			BytesPerOp:  r.AllocedBytesPerOp() / int64(len(sample)),
+			AllocsPerOp: r.AllocsPerOp() / int64(len(sample)),
+			WeightedLen: sumWL,
+		})
+		fmt.Fprintf(os.Stderr, "whatif switches=%d kernel=%s: %.3f ms/link, sum weighted_len=%d\n",
+			switches, kr.name, perLink/1e6, sumWL)
+	}
+	for i := range sample {
+		if warmWL[i] != coldWL[i] {
+			return fmt.Errorf("whatif bench: link (%d,%d): warm weighted_len %d != cold %d",
+				sample[i].u, sample[i].v, warmWL[i], coldWL[i])
+		}
+	}
+	rep.Speedup[fmt.Sprintf("switches=%d", switches)] = perKernel[1] / perKernel[0]
+	amortized := perKernel[0] + rep.BuildNs/float64(total)
+	rep.Speedup[fmt.Sprintf("switches=%d/amortized", switches)] = perKernel[1] / amortized
 
 	return writeBenchJSON(w, out, &rep, len(rep.Entries))
 }

@@ -9,6 +9,7 @@
 //	topobench tub     -family xpander   -switches 512 -radix 32 -servers 10
 //	topobench metrics -family jellyfish -switches 128 -radix 16 -servers 8
 //	topobench mcf     -family jellyfish -switches 64  -radix 10 -servers 4 -k 16
+//	topobench whatif  -family jellyfish -switches 200 -radix 12 -servers 4 [-link u:v | -switch x | -all]
 //	topobench expt    [-list] [-json] [-cache DIR] <id>
 //	topobench report  [-markdown] [-heavy] [-only id,id] [-cache DIR] [-convergence] > EXPERIMENTS.out
 //
@@ -70,6 +71,8 @@ func main() {
 		err = cmdMetrics(os.Stdout, os.Args[2:])
 	case "mcf":
 		err = cmdMCF(os.Stdout, os.Args[2:])
+	case "whatif":
+		err = cmdWhatIf(os.Stdout, os.Args[2:])
 	case "expt":
 		err = cmdExpt(os.Stdout, os.Args[2:])
 	case "design":
@@ -103,6 +106,7 @@ commands:
   tub      compute the throughput upper bound (Theorem 2.2)
   metrics  compute every capacity metric on one topology
   mcf      route the maximal permutation with KSP-MCF and report θ
+  whatif   incremental failure analysis: -link u:v | -switch x | -all [-top N] [-sample N]
   expt     run one paper experiment by id (-list for details, -json, -cache DIR):
            %s
   design   size a full-throughput fabric and plan expansions (§5-§6 design aid)

@@ -55,6 +55,33 @@ func TestCmdMCF(t *testing.T) {
 	}
 }
 
+func TestCmdWhatIf(t *testing.T) {
+	base := []string{"-family", "jellyfish", "-switches", "20", "-radix", "8", "-servers", "3"}
+	var buf bytes.Buffer
+	if err := cmdWhatIf(&buf, append(base, "-all", "-top", "3")); err != nil {
+		t.Fatalf("whatif -all: %v", err)
+	}
+	if !strings.Contains(buf.String(), "top 3 by TUB drop") {
+		t.Errorf("sweep output missing ranking header:\n%s", buf.String())
+	}
+	if err := cmdWhatIf(io.Discard, append(base, "-link", "0:1")); err != nil {
+		// Link (0,1) may not exist in this random instance; only a parse
+		// error or engine failure is a bug.
+		if !strings.Contains(err.Error(), "link") {
+			t.Fatalf("whatif -link: %v", err)
+		}
+	}
+	if err := cmdWhatIf(io.Discard, append(base, "-switch", "0")); err != nil {
+		t.Fatalf("whatif -switch: %v", err)
+	}
+	if err := cmdWhatIf(io.Discard, append(base, "-link", "0:1", "-switch", "2")); err == nil {
+		t.Error("expected error for -link with -switch")
+	}
+	if err := cmdWhatIf(io.Discard, append(base, "-link", "zero:one")); err == nil {
+		t.Error("expected error for malformed -link")
+	}
+}
+
 func TestCmdExptCheapIDs(t *testing.T) {
 	// Only the sub-second experiments; the heavy ones run in the report.
 	for _, id := range []string{"fig7", "tabA1"} {

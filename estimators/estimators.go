@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"dctopo/internal/graph"
 	"dctopo/internal/part"
 	"dctopo/mcf"
 	"dctopo/topo"
@@ -391,8 +392,8 @@ func hostDistances(t *topo.Topology) ([][]uint8, error) {
 			if d < 0 {
 				return errors.New("estimators: topology disconnected")
 			}
-			if d > 255 {
-				return fmt.Errorf("estimators: distance %d exceeds uint8 range", d)
+			if d > graph.MaxUint8Dist {
+				return fmt.Errorf("estimators: distance %d exceeds uint8 range [0,%d] (255 is the unreachable sentinel)", d, graph.MaxUint8Dist)
 			}
 			row[j] = uint8(d)
 		}

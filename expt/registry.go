@@ -102,7 +102,7 @@ var _ = []Result{
 	(*Table3Result)(nil), (*TableA1Result)(nil), (*Table5Result)(nil),
 	(*FigA1Result)(nil), (*FigA2Result)(nil), (*FigA4Result)(nil),
 	(*FigA5Result)(nil), (*RoutingResult)(nil), (*AblationResult)(nil),
-	(*WedgeResult)(nil),
+	(*WhatIfResult)(nil), (*WedgeResult)(nil),
 }
 
 // Experiments returns every registered experiment in report order: the
@@ -193,6 +193,12 @@ func Experiments() []Experiment {
 			Params: DefaultAblation(),
 			Run:    func(opt RunOptions) (Result, error) { return RunAblation(DefaultAblation(), opt) },
 			decode: decodeAs[AblationResult],
+		},
+		{
+			ID: "whatif", Title: "What-if: incremental single-link failure sweep (ranking + CDF)",
+			Params: DefaultWhatIf(),
+			Run:    func(opt RunOptions) (Result, error) { return RunWhatIf(DefaultWhatIf(), opt) },
+			decode: decodeAs[WhatIfResult],
 		},
 		{
 			ID: "tab5", Title: "Table 5: over-subscription at N=32K, BBW-based vs throughput", Heavy: true,

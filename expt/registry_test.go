@@ -13,7 +13,7 @@ func TestRegistryOrderAndIDs(t *testing.T) {
 	want := []string{
 		"fig7", "tabA1", "tab3", "fig3", "fig4", "fig5", "fig8", "fig9",
 		"figA1", "figA2", "figA4", "figA5", "routing", "ablation",
-		"tab5", "fig10", "wedge",
+		"whatif", "tab5", "fig10", "wedge",
 	}
 	got := IDs()
 	if len(got) != len(want) {

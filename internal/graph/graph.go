@@ -248,8 +248,8 @@ func (g *Graph) Connected() bool {
 	return true
 }
 
-// APSP computes all-pairs hop distances as an n×n matrix of uint8 (255
-// is a valid distance), which suffices for datacenter topologies. It
+// APSP computes all-pairs hop distances as an n×n matrix of uint8 (at
+// most MaxUint8Dist = 254), which suffices for datacenter topologies. It
 // returns ErrDisconnected if any pair is unreachable. The per-source
 // traversals run on the bit-parallel kernel across GOMAXPROCS workers.
 func (g *Graph) APSP() ([][]uint8, error) {

@@ -282,9 +282,10 @@ func (g *Graph) MultiBFS(sources []int, emit func(src, v, dist int)) {
 }
 
 // AllDistances computes hop distances from every source to every vertex
-// as a len(sources)×N matrix of uint8 (255 is a valid distance). It
-// returns ErrDisconnected if any vertex is unreachable from any source,
-// and an error if a distance exceeds the uint8 range.
+// as a len(sources)×N matrix of uint8 (at most MaxUint8Dist = 254; 255
+// is reserved as the UnreachableDist sentinel). It returns
+// ErrDisconnected if any vertex is unreachable from any source, and an
+// error if a distance exceeds the representable range.
 func (g *Graph) AllDistances(sources []int) ([][]uint8, error) {
 	return g.AllDistancesWorkers(sources, 0)
 }
@@ -330,14 +331,15 @@ func (g *Graph) AllDistancesWorkers(sources []int, workers int) ([][]uint8, erro
 }
 
 // fillUint8Row narrows one BFS row to uint8, rejecting unreachable
-// vertices and distances beyond 255.
+// vertices and distances beyond MaxUint8Dist (255 is reserved as the
+// UnreachableDist sentinel, never a hop count).
 func fillUint8Row(row []uint8, dist []int32) error {
 	for v, d := range dist {
 		if d == Unreachable {
 			return ErrDisconnected
 		}
-		if d > 255 {
-			return fmt.Errorf("graph: distance %d exceeds uint8 range", d)
+		if d > MaxUint8Dist {
+			return fmt.Errorf("graph: distance %d exceeds uint8 range [0,%d] (255 is the unreachable sentinel)", d, MaxUint8Dist)
 		}
 		row[v] = uint8(d)
 	}

@@ -204,30 +204,32 @@ func TestMultiBFSEmitOrder(t *testing.T) {
 	}
 }
 
-// TestAllDistances255 pins the uint8 boundary: a 256-node path has
-// diameter 255, which must be accepted; 257 nodes must overflow with a
-// distance error, not silently wrap.
-func TestAllDistances255(t *testing.T) {
-	g := pathGraph(256)
+// TestAllDistances254 pins the uint8 boundary: 255 is reserved as the
+// unreachable sentinel, so a 255-node path (diameter 254 =
+// graph.MaxUint8Dist) must be accepted, and a 256-node path (diameter
+// 255) must overflow with a distance error, not silently collide with
+// the sentinel.
+func TestAllDistances254(t *testing.T) {
+	g := pathGraph(255)
 	all := make([]int, g.N())
 	for i := range all {
 		all[i] = i
 	}
 	d, err := g.AllDistances(all)
 	if err != nil {
-		t.Fatalf("256-node path: %v", err)
+		t.Fatalf("255-node path: %v", err)
 	}
-	if d[0][255] != 255 || d[255][0] != 255 {
-		t.Fatalf("corner distances = %d, %d, want 255, 255", d[0][255], d[255][0])
+	if d[0][254] != graph.MaxUint8Dist || d[254][0] != graph.MaxUint8Dist {
+		t.Fatalf("corner distances = %d, %d, want %d", d[0][254], d[254][0], graph.MaxUint8Dist)
 	}
 	if _, err := g.APSP(); err != nil {
-		t.Fatalf("APSP on 256-node path: %v", err)
+		t.Fatalf("APSP on 255-node path: %v", err)
 	}
 
-	g = pathGraph(257)
-	all = append(all, 256)
+	g = pathGraph(256)
+	all = append(all, 255)
 	if _, err := g.AllDistances(all); err == nil || errors.Is(err, graph.ErrDisconnected) {
-		t.Fatalf("257-node path: err = %v, want uint8 overflow error", err)
+		t.Fatalf("256-node path: err = %v, want uint8 overflow error", err)
 	}
 }
 

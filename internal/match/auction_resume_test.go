@@ -1,0 +1,165 @@
+package match
+
+import (
+	"runtime"
+	"testing"
+
+	"dctopo/internal/rng"
+)
+
+// perturbRows returns a copy of m with the listed rows' entries
+// re-drawn, keeping weights non-negative.
+func perturbRows(m [][]int64, rows []int, maxW int, seed uint64) [][]int64 {
+	r := rng.New(seed)
+	out := make([][]int64, len(m))
+	for i := range m {
+		out[i] = append([]int64(nil), m[i]...)
+	}
+	for _, i := range rows {
+		for j := range out[i] {
+			out[i][j] = int64(r.Intn(maxW + 1))
+		}
+	}
+	return out
+}
+
+// TestAuctionResumeMatchesExact: over randomized matrices and change
+// sets, the warm-resumed total must equal the exact (JV) optimum on the
+// perturbed weights — the warm start buys speed, never optimality.
+func TestAuctionResumeMatchesExact(t *testing.T) {
+	for _, n := range []int{2, 7, 24, 60} {
+		for seed := uint64(0); seed < 4; seed++ {
+			base := randomMatrix(n, 30, seed)
+			warmRes, warmStats := AuctionSharded(n, fn(base), AuctionOptions{})
+			r := rng.New(seed + 50)
+			for trial := 0; trial < 6; trial++ {
+				nc := 1 + r.Intn(n)
+				changed := make([]int, nc)
+				for k := range changed {
+					changed[k] = r.Intn(n)
+				}
+				pert := perturbRows(base, changed, 30, seed+uint64(trial)*13+1)
+				want := Exact(n, fn(pert)).Total
+				res, st := AuctionResume(n, fn(pert), AuctionWarmStart{Prices: warmStats.Prices, Col: warmRes.Col}, changed, AuctionResumeOptions{MaxWeight: 30})
+				validPerm(t, res, n)
+				if res.Total != want {
+					t.Fatalf("n=%d seed=%d trial=%d: resumed total %d, exact %d (freed %d, rounds %d)",
+						n, seed, trial, res.Total, want, st.Freed, st.Rounds)
+				}
+			}
+		}
+	}
+}
+
+// TestAuctionResumeDeterministicAcrossWorkers: the resumed matching —
+// not just its total — must be identical for any worker count, like the
+// cold auction.
+func TestAuctionResumeDeterministicAcrossWorkers(t *testing.T) {
+	n := 120
+	base := symmetricMatrix(n, 9, 3)
+	warmRes, warmStats := AuctionSharded(n, fn(base), AuctionOptions{})
+	pert := perturbRows(base, []int{5, 17, 80}, 9, 4)
+	var ref *Result
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		res, _ := AuctionResume(n, fn(pert), AuctionWarmStart{Prices: warmStats.Prices, Col: warmRes.Col}, []int{80, 5, 17, 5}, AuctionResumeOptions{Workers: workers, MaxWeight: 9})
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.Total != ref.Total {
+			t.Fatalf("workers=%d: total %d != %d", workers, res.Total, ref.Total)
+		}
+		for i := range res.Col {
+			if res.Col[i] != ref.Col[i] {
+				t.Fatalf("workers=%d: Col[%d] = %d != %d — matching depends on worker count", workers, i, res.Col[i], ref.Col[i])
+			}
+		}
+	}
+}
+
+// TestAuctionResumeScaledRow: bidding against borrowed pre-scaled rows
+// must produce the identical matching (not just total) as the
+// materializing path — ScaledRow is a pure fast path.
+func TestAuctionResumeScaledRow(t *testing.T) {
+	n := 120
+	base := symmetricMatrix(n, 9, 3)
+	warmRes, warmStats := AuctionSharded(n, fn(base), AuctionOptions{})
+	pert := perturbRows(base, []int{5, 17, 80}, 9, 4)
+	warm := AuctionWarmStart{Prices: warmStats.Prices, Col: warmRes.Col}
+	changed := []int{5, 17, 80}
+	ref, refStats := AuctionResume(n, fn(pert), warm, changed, AuctionResumeOptions{Workers: 1, MaxWeight: 9})
+	scaled := make([][]int64, n)
+	for i := range scaled {
+		scaled[i] = make([]int64, n)
+		for j := range scaled[i] {
+			scaled[i][j] = pert[i][j] * int64(n+1)
+		}
+	}
+	res, st := AuctionResume(n, fn(pert), warm, changed, AuctionResumeOptions{
+		Workers:   1,
+		ScaledRow: func(i int) []int64 { return scaled[i] },
+		MaxWeight: 9,
+	})
+	if res.Total != ref.Total {
+		t.Fatalf("scaled-row total %d != %d", res.Total, ref.Total)
+	}
+	for i := range res.Col {
+		if res.Col[i] != ref.Col[i] {
+			t.Fatalf("scaled-row Col[%d] = %d != %d", i, res.Col[i], ref.Col[i])
+		}
+	}
+	if st.Rounds != refStats.Rounds || st.Bids != refStats.Bids {
+		t.Fatalf("scaled-row work (%d rounds, %d bids) != (%d, %d)", st.Rounds, st.Bids, refStats.Rounds, refStats.Bids)
+	}
+	if want := Exact(n, fn(pert)).Total; res.Total != want {
+		t.Fatalf("scaled-row total %d != JV %d", res.Total, want)
+	}
+}
+
+// TestAuctionResumeNoChanges: an empty change set returns the warm
+// matching unchanged with zero bidding work.
+func TestAuctionResumeNoChanges(t *testing.T) {
+	n := 20
+	base := randomMatrix(n, 15, 7)
+	warmRes, warmStats := AuctionSharded(n, fn(base), AuctionOptions{})
+	res, st := AuctionResume(n, fn(base), AuctionWarmStart{Prices: warmStats.Prices, Col: warmRes.Col}, nil, AuctionResumeOptions{MaxWeight: 15})
+	if st.Rounds != 0 || st.Bids != 0 || st.Freed != 0 {
+		t.Fatalf("no-change resume did work: %+v", st)
+	}
+	if res.Total != warmRes.Total {
+		t.Fatalf("no-change resume total %d != %d", res.Total, warmRes.Total)
+	}
+}
+
+// TestAuctionResumeFallback: a tiny round cap forces the cold fallback,
+// which must still produce the exact total and say it fell back.
+func TestAuctionResumeFallback(t *testing.T) {
+	n := 40
+	base := randomMatrix(n, 25, 11)
+	warmRes, warmStats := AuctionSharded(n, fn(base), AuctionOptions{})
+	changed := make([]int, n)
+	for i := range changed {
+		changed[i] = i
+	}
+	pert := perturbRows(base, changed, 25, 12)
+	res, st := AuctionResume(n, fn(pert), AuctionWarmStart{Prices: warmStats.Prices, Col: warmRes.Col}, changed, AuctionResumeOptions{MaxWeight: 25, MaxRounds: 1})
+	if !st.FellBack {
+		t.Fatalf("MaxRounds=1 with every row changed did not fall back: %+v", st)
+	}
+	if want := Exact(n, fn(pert)).Total; res.Total != want {
+		t.Fatalf("fallback total %d, exact %d", res.Total, want)
+	}
+}
+
+// TestAuctionResumeUnderestimatedMaxWeight: a too-small MaxWeight hint
+// may dampen bids but never the total (the guard note in the bid loop).
+func TestAuctionResumeUnderestimatedMaxWeight(t *testing.T) {
+	n := 30
+	base := randomMatrix(n, 40, 21)
+	warmRes, warmStats := AuctionSharded(n, fn(base), AuctionOptions{})
+	pert := perturbRows(base, []int{0, 9, 13}, 40, 22)
+	res, _ := AuctionResume(n, fn(pert), AuctionWarmStart{Prices: warmStats.Prices, Col: warmRes.Col}, []int{0, 9, 13}, AuctionResumeOptions{MaxWeight: 1})
+	if want := Exact(n, fn(pert)).Total; res.Total != want {
+		t.Fatalf("underestimated hint total %d, exact %d", res.Total, want)
+	}
+}

@@ -51,6 +51,11 @@ type AuctionStats struct {
 	// Bids is the total number of bids computed (a person may bid many
 	// times before holding an object through the end of its phase).
 	Bids int
+	// Prices holds the final per-object prices in the scaled weight
+	// domain (weights × (n+1)). Together with Result.Col they are the
+	// warm-start state AuctionResume picks up after a sparse weight
+	// change; retaining them costs one []int64 per run.
+	Prices []int64
 }
 
 // AuctionSharded computes a maximum-weight perfect matching with a
@@ -322,5 +327,6 @@ func AuctionSharded(n int, w WeightFunc, opt AuctionOptions) (*Result, AuctionSt
 	for i := 0; i < n; i++ {
 		res.Total += w(i, res.Col[i])
 	}
+	stats.Prices = price
 	return res, stats
 }

@@ -86,8 +86,13 @@ func TestAuctionShardedDeterministicAcrossWorkers(t *testing.T) {
 					t.Fatalf("workers=%d row=%v: Col[%d]=%d != %d", workers, useRow, i, res.Col[i], base.Col[i])
 				}
 			}
-			if stats != baseStats {
+			if stats.Phases != baseStats.Phases || stats.Rounds != baseStats.Rounds || stats.Bids != baseStats.Bids {
 				t.Fatalf("workers=%d row=%v: stats %+v != %+v", workers, useRow, stats, baseStats)
+			}
+			for j, p := range stats.Prices {
+				if p != baseStats.Prices[j] {
+					t.Fatalf("workers=%d row=%v: price[%d]=%d != %d — final prices depend on worker count", workers, useRow, j, p, baseStats.Prices[j])
+				}
 			}
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"dctopo/internal/graph"
 	"dctopo/mcf"
 	"dctopo/obs"
 	"dctopo/topo"
@@ -88,5 +89,83 @@ func TestScale20kSmoke(t *testing.T) {
 	if th <= 0 {
 		t.Fatalf("non-positive truncated theta %v", th)
 	}
-	t.Logf("tub bound %.4f, one-phase theta %.4f", res.Bound, th)
+
+	// Delta-repair spot check at 20k: cut one link, repair two of the
+	// distance rows Bound already computed (hosts == switches here, so
+	// the rows are full-width), and confirm each repaired row matches a
+	// cold BFS on the damaged graph byte for byte.
+	g := top.Graph()
+	var cu, cv int
+	found := false
+	g.Edges(func(u, v, c int) {
+		if !found && c == 1 {
+			cu, cv, found = u, v, true
+		}
+	})
+	if !found {
+		t.Fatal("no unit link to cut at 20k")
+	}
+	_, rsp := o.Start("scale.repair", obs.Int("u", cu), obs.Int("v", cv))
+	db := g.CopyBuilder()
+	db.RemoveEdge(cu, cv)
+	dg := db.Build()
+	cold := make([]int32, g.N())
+	var arena graph.RepairArena
+	for _, src := range []int{0, 10000} {
+		row := append([]uint8(nil), res.Dist[src]...)
+		if _, err := g.RepairRowEdge(src, row, cu, cv, 0, &arena); err != nil {
+			t.Fatal(err)
+		}
+		dg.BFS(src, cold)
+		for w, d := range cold {
+			want := uint8(d)
+			if d < 0 {
+				want = graph.UnreachableDist
+			}
+			if row[w] != want {
+				t.Fatalf("repaired row %d disagrees with cold BFS at switch %d: %d != %d", src, w, row[w], want)
+			}
+		}
+	}
+	rsp.End()
+
+	// What-if sweep smoke at 2k switches (same radix): engine build plus
+	// ~64 sampled link queries under the flight recorder, with one query
+	// cross-checked against a cold Bound on the damaged topology.
+	wtop, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 2000, Radix: 32, Servers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := tub.NewWhatIf(wtop, tub.WhatIfOptions{Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := wtop.Links()
+	impacts, err := eng.SweepLinks(tub.SweepOptions{Sample: links/64 + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(impacts) == 0 {
+		t.Fatal("empty what-if sweep")
+	}
+	for _, im := range impacts {
+		if im.Drop < -1e-9 {
+			t.Fatalf("link (%d,%d): negative TUB drop %v", im.U, im.V, im.Drop)
+		}
+	}
+	probe := impacts[len(impacts)/2]
+	dt, err := wtop.RemoveLink(probe.U, probe.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := tub.Bound(dt, tub.Options{Matcher: tub.AuctionMatcher, Obs: so})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.WeightedLen != coldRes.WeightedLen || probe.Bound != coldRes.Bound {
+		t.Fatalf("what-if (%d,%d) disagrees with cold bound: %v/%d != %v/%d",
+			probe.U, probe.V, probe.Bound, probe.WeightedLen, coldRes.Bound, coldRes.WeightedLen)
+	}
+	t.Logf("tub bound %.4f, one-phase theta %.4f, whatif sweep %d links (base %.4f)",
+		res.Bound, th, len(impacts), eng.Base().Bound)
 }

@@ -1,0 +1,119 @@
+package topo
+
+import (
+	"errors"
+	"testing"
+
+	"dctopo/internal/graph"
+)
+
+// trunkedTopology: 0 ={2}= 1 — 2 — 3, one server per switch.
+func trunkedTopology(t *testing.T) *Topology {
+	t.Helper()
+	b := graph.NewBuilder(4)
+	b.AddEdgeMult(0, 1, 2)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	tp, err := New("trunked", b.Build(), []int{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+// TestRemoveLinkTrunkDecrement pins the multigraph-aware satellite:
+// removing one link of a trunk decrements multiplicity, keeps the pair
+// adjacent, and never mutates the base.
+func TestRemoveLinkTrunkDecrement(t *testing.T) {
+	tp := trunkedTopology(t)
+	dt, err := tp.RemoveLink(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dt.Graph().Capacity(0, 1); got != 1 {
+		t.Fatalf("derived capacity(0,1) = %d, want 1", got)
+	}
+	if got := dt.Links(); got != tp.Links()-1 {
+		t.Fatalf("derived links = %d, want %d", got, tp.Links()-1)
+	}
+	if got := tp.Graph().Capacity(0, 1); got != 2 {
+		t.Fatalf("base mutated: capacity(0,1) = %d, want 2", got)
+	}
+	// Removing the second parallel link deletes the adjacency entirely —
+	// and disconnects this path topology.
+	if _, err := dt.RemoveLink(0, 1); !errors.Is(err, ErrRemovalDisconnects) {
+		t.Fatalf("removing the last (0,1) link: err = %v, want ErrRemovalDisconnects", err)
+	}
+}
+
+func TestRemoveLinkErrors(t *testing.T) {
+	tp := trunkedTopology(t)
+	if _, err := tp.RemoveLink(0, 3); err == nil {
+		t.Fatal("removing a non-existent link succeeded")
+	}
+	if _, err := tp.RemoveLink(2, 2); err == nil {
+		t.Fatal("removing a self-loop succeeded")
+	}
+	if _, err := tp.RemoveLink(1, 2); !errors.Is(err, ErrRemovalDisconnects) {
+		t.Fatalf("bridge removal: err = %v, want ErrRemovalDisconnects", err)
+	}
+}
+
+func TestRemoveSwitchReindex(t *testing.T) {
+	// Ring of 5 so any single switch removal stays connected.
+	b := graph.NewBuilder(5)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(i, (i+1)%5)
+	}
+	tp, err := New("ring", b.Build(), []int{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, idx, err := tp.RemoveSwitch(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdx := []int{0, 1, -1, 2, 3}
+	for old, nw := range wantIdx {
+		if idx[old] != nw {
+			t.Fatalf("idx[%d] = %d, want %d", old, idx[old], nw)
+		}
+	}
+	if dt.NumSwitches() != 4 {
+		t.Fatalf("derived switches = %d, want 4", dt.NumSwitches())
+	}
+	if dt.Links() != tp.Links()-2 {
+		t.Fatalf("derived links = %d, want %d", dt.Links(), tp.Links()-2)
+	}
+	// Server counts follow the renumbering.
+	for old, nw := range wantIdx {
+		if nw < 0 {
+			continue
+		}
+		if dt.Servers(nw) != tp.Servers(old) {
+			t.Fatalf("servers(new %d) = %d, want %d (old %d)", nw, dt.Servers(nw), tp.Servers(old), old)
+		}
+	}
+	// Surviving adjacency is preserved under the mapping: 1-2 and 2-3 are
+	// gone, 3-4 survives as 2-3.
+	if dt.Graph().Capacity(idx[3], idx[4]) != 1 {
+		t.Fatal("surviving link (3,4) lost in renumbering")
+	}
+	if dt.Graph().Capacity(idx[1], idx[3]) != 0 {
+		t.Fatal("phantom link appeared across the removed switch")
+	}
+	// Base untouched.
+	if tp.NumSwitches() != 5 || tp.Links() != 5 {
+		t.Fatal("base mutated by RemoveSwitch")
+	}
+}
+
+func TestRemoveSwitchDisconnects(t *testing.T) {
+	tp := trunkedTopology(t) // removing switch 2 strands switch 3
+	if _, _, err := tp.RemoveSwitch(2); !errors.Is(err, ErrRemovalDisconnects) {
+		t.Fatalf("cut-vertex removal: err = %v, want ErrRemovalDisconnects", err)
+	}
+	if _, _, err := tp.RemoveSwitch(9); err == nil {
+		t.Fatal("removing an out-of-range switch succeeded")
+	}
+}

@@ -2,7 +2,8 @@
 // the bit-parallel sweep must reproduce the scalar baseline bit for bit
 // (and so must Bound, whose only non-trivial input is the distance
 // matrix), at both sides of the kernel crossover and for any worker
-// count; distance 255 — the full uint8 range — must be accepted.
+// count; distance 254 — the top of the representable range, 255 being
+// the unreachable sentinel — must be accepted.
 package tub
 
 import (
@@ -104,44 +105,46 @@ func TestBoundBitIdenticalAcrossKernels(t *testing.T) {
 	}
 }
 
-// TestHostDistances255 is the satellite regression: a 256-switch path has
-// host diameter 255, exactly the top of the uint8 range, and must be
-// accepted (the old check rejected d > 254); one more switch must fail
-// with the overflow error, not wrap.
-func TestHostDistances255(t *testing.T) {
-	d, err := HostDistances(pathTopology(t, 256))
+// TestHostDistances254 pins the uint8 boundary after the disconnection
+// semantics fix: 255 is reserved as the unreachable sentinel, so a
+// 255-switch path (host diameter 254 = graph.MaxUint8Dist) must be
+// accepted and a 256-switch path (diameter 255) must fail with the
+// overflow error — a 255-hop path must never be representable, or it
+// would alias the sentinel.
+func TestHostDistances254(t *testing.T) {
+	d, err := HostDistances(pathTopology(t, 255))
 	if err != nil {
-		t.Fatalf("diameter-255 path rejected: %v", err)
+		t.Fatalf("diameter-254 path rejected: %v", err)
 	}
-	if d[0][255] != 255 {
-		t.Fatalf("d[0][255] = %d, want 255", d[0][255])
+	if d[0][254] != graph.MaxUint8Dist {
+		t.Fatalf("d[0][254] = %d, want %d", d[0][254], graph.MaxUint8Dist)
 	}
-	if _, err := HostDistances(pathTopology(t, 257)); err == nil || !strings.Contains(err.Error(), "exceeds uint8 range") {
-		t.Fatalf("diameter-256 path: err = %v, want uint8 range error", err)
+	if _, err := HostDistances(pathTopology(t, 256)); err == nil || !strings.Contains(err.Error(), "exceeds uint8 range") {
+		t.Fatalf("diameter-255 path: err = %v, want uint8 range error", err)
 	}
 	// The scalar baseline must agree on both boundaries.
-	if _, err := HostDistancesScalar(pathTopology(t, 256), 0); err != nil {
-		t.Fatalf("scalar baseline rejects diameter 255: %v", err)
+	if _, err := HostDistancesScalar(pathTopology(t, 255), 0); err != nil {
+		t.Fatalf("scalar baseline rejects diameter 254: %v", err)
 	}
-	if _, err := HostDistancesScalar(pathTopology(t, 257), 0); err == nil {
-		t.Fatal("scalar baseline accepts diameter 256")
+	if _, err := HostDistancesScalar(pathTopology(t, 256), 0); err == nil {
+		t.Fatal("scalar baseline accepts diameter 255")
 	}
 }
 
 // TestFillHostRow unit-tests the row-fill helper directly: transit
-// switches are skipped, 255 fits, 256 overflows, unreachable hosts are a
-// disconnection error.
+// switches are skipped, 254 fits, 255 (the sentinel) overflows,
+// unreachable hosts are a disconnection error.
 func TestFillHostRow(t *testing.T) {
 	pos := []int32{0, -1, 1} // switch 1 is transit
 	row := make([]uint8, 2)
-	if err := fillHostRow(row, []int32{0, 7, 255}, pos); err != nil {
+	if err := fillHostRow(row, []int32{0, 7, 254}, pos); err != nil {
 		t.Fatal(err)
 	}
-	if row[0] != 0 || row[1] != 255 {
-		t.Fatalf("row = %v, want [0 255]", row)
+	if row[0] != 0 || row[1] != 254 {
+		t.Fatalf("row = %v, want [0 254]", row)
 	}
-	if err := fillHostRow(row, []int32{0, 7, 256}, pos); err == nil || !strings.Contains(err.Error(), "exceeds uint8 range") {
-		t.Fatalf("d=256: err = %v, want overflow", err)
+	if err := fillHostRow(row, []int32{0, 7, 255}, pos); err == nil || !strings.Contains(err.Error(), "exceeds uint8 range") {
+		t.Fatalf("d=255: err = %v, want overflow", err)
 	}
 	// Unreachable transit switch is fine; unreachable host is not.
 	if err := fillHostRow(row, []int32{0, graph.Unreachable, 2}, pos); err != nil {

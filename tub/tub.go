@@ -379,8 +379,9 @@ func hostPositions(numSwitches int, hosts []int) []int32 {
 
 // fillHostRow compacts one full-graph BFS distance row onto host
 // positions. An unreachable host is a disconnection error; distances
-// must fit uint8 — 255 is the largest representable hop count and is
-// accepted.
+// must fit uint8 — graph.MaxUint8Dist (254) is the largest representable
+// hop count, since 255 is reserved as graph.UnreachableDist (the what-if
+// engine writes it into repaired rows when a removal disconnects hosts).
 func fillHostRow(row []uint8, dist []int32, pos []int32) error {
 	for v, d := range dist {
 		j := pos[v]
@@ -390,8 +391,8 @@ func fillHostRow(row []uint8, dist []int32, pos []int32) error {
 		if d < 0 {
 			return errors.New("tub: topology disconnected")
 		}
-		if d > 255 {
-			return fmt.Errorf("tub: distance %d exceeds uint8 range", d)
+		if d > graph.MaxUint8Dist {
+			return fmt.Errorf("tub: distance %d exceeds uint8 range [0,%d] (255 is the unreachable sentinel)", d, graph.MaxUint8Dist)
 		}
 		row[j] = uint8(d)
 	}

@@ -1,0 +1,749 @@
+// Incremental what-if engine: answer "what happens to TUB if this link
+// or switch dies?" thousands of times per fabric without recomputing
+// the bound from scratch each time.
+//
+// A cold tub.Bound on the damaged topology pays two costs: the host
+// distance matrix (an MS-BFS sweep over every host) and the matcher.
+// For a single removal both are almost entirely wasted work — a failed
+// link touches only the distance rows whose shortest paths crossed it,
+// and the ε-scaling auction's final prices remain a valid dual for
+// every host pair whose distances survive. WhatIf amortizes the base
+// state once and answers each query with:
+//
+//  1. graph.EdgeRepairNeeded / SwitchRepairNeeded prechecks that skip
+//     unaffected rows without copying them (on low-damage links most
+//     rows are skipped);
+//  2. graph.RepairRowEdge / RepairRowSwitch delta repair of the few
+//     affected rows into copy-on-write overlays, bit-identical to a
+//     cold BFS on the damaged graph;
+//  3. match.AuctionResume, which frees exactly the hosts whose rows
+//     changed and re-runs the auction's final ε = 1 bidding loop from
+//     the retained prices — exact by the same complementary-slackness
+//     argument as the cold auction's last phase.
+//
+// Removals that disconnect a host pair short-circuit to Bound 0 with
+// Disconnected set (the worst-case permutation pairs unreachable
+// hosts); repaired rows carry graph.UnreachableDist for such pairs, so
+// the condition is a sentinel scan, never a silent 255-hop "distance".
+// Per-query latency lands in the "whatif.query" histogram and repair
+// cone sizes in "whatif.frontier"; mode counts (trunk / unchanged /
+// warm / coldmatch / disconnected / switch) are "whatif.<mode>"
+// counters.
+package tub
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dctopo/internal/graph"
+	"dctopo/internal/match"
+	"dctopo/obs"
+	"dctopo/topo"
+)
+
+// DefaultMaxAffectedFrac is the repair damage threshold: when one row's
+// affected cone exceeds this fraction of the switches, delta repair
+// stops paying for itself and the row is recomputed with a plain BFS.
+const DefaultMaxAffectedFrac = 0.25
+
+// defaultResumeRoundsPerHost scales the warm rematch round cap: past
+// it the retained prices are evidently not helping and the engine
+// falls back to a cold auction for that query.
+const defaultResumeRoundsPerHost = 16
+
+// maxScaledMatrixBytes caps the precomputed scaled weight matrix (the
+// warm rematch's zero-copy bid rows). Past it the engine computes rows
+// on demand per query — still exact, just slower bids.
+const maxScaledMatrixBytes = 256 << 20
+
+// WhatIfOptions configures NewWhatIf.
+type WhatIfOptions struct {
+	// Workers bounds the base-state sweep and single-query matcher
+	// pools; <= 0 means GOMAXPROCS. Results are identical for any
+	// worker count.
+	Workers int
+	// Obs, when non-nil, records base-build spans plus the per-query
+	// "whatif.query" / "whatif.frontier" histograms and mode counters.
+	Obs *obs.Obs
+	// MaxAffectedFrac overrides DefaultMaxAffectedFrac (0 keeps the
+	// default; values >= 1 disable the fallback).
+	MaxAffectedFrac float64
+}
+
+// QueryResult is the outcome of one what-if query.
+type QueryResult struct {
+	// Bound is TUB on the damaged topology, or 0 when Disconnected.
+	Bound float64
+	// WeightedLen is the damaged maximal permutation's Σ min(H_u,H_v)·L_uv
+	// (0 when Disconnected).
+	WeightedLen int64
+	// TwoE is the damaged numerator 2·links.
+	TwoE int
+	// Disconnected reports that the removal separates at least one host
+	// pair, making the worst-case permutation unroutable.
+	Disconnected bool
+	// Mode names the path that answered the query: "trunk", "unchanged",
+	// "warm", "coldmatch", "switch-host", "disconnected".
+	Mode string
+	// ChangedRows is the number of host distance rows the removal
+	// touched; ChangedPairs counts changed host-pair entries in them.
+	ChangedRows, ChangedPairs int
+	// Frontier is the largest repair cone across changed rows, and
+	// RecomputedRows the rows that fell past the damage threshold.
+	Frontier, RecomputedRows int
+}
+
+// LinkImpact is one link's entry in a sweep: the query result plus the
+// link identity and the TUB drop against the base bound.
+type LinkImpact struct {
+	U, V, Capacity int
+	Drop           float64
+	QueryResult
+}
+
+// WhatIf holds the amortized base state for incremental what-if queries
+// against one topology. Build it once with NewWhatIf; queries are safe
+// for concurrent use (each takes pooled scratch) and never mutate the
+// base state.
+type WhatIf struct {
+	t      *topo.Topology
+	g      *graph.Graph
+	hosts  []int
+	hpos   []int32 // switch id -> host index, -1 transit
+	h      []int64 // servers per host
+	minH   int64   // uniform min-host weight (valid when uniform)
+	uniform bool
+	nsw    int
+	full   []uint8 // hosts × nsw base distance rows, flat
+	wmat   []int64 // hosts × hosts base weights × (hosts+1), nil past budget
+	base   Result  // cold-equivalent base bound (Dist left nil)
+	prices []int64 // base auction prices (scaled domain)
+	maxRaw int64   // max raw weight over the base matrix
+	maxAff int     // resolved damage threshold in switches
+	opt    WhatIfOptions
+	pool   sync.Pool // *whatifScratch
+}
+
+type whatifScratch struct {
+	arena     graph.RepairArena
+	overlays  [][]uint8
+	used      int     // overlays handed out this query
+	overlayOf []int32 // host index -> overlay slot + 1, 0 = base row
+	changed   []int
+	srows     [][]int64 // scaled weight rows of changed hosts, cached lazily
+	srowUsed  int
+	srowOf    []int32 // host index -> srows slot + 1, 0 = not cached
+	srowTmp   []int64 // unchanged-row bid buffer when the engine has no wmat
+}
+
+// reset clears the per-query state while keeping the buffers for reuse.
+func (sc *whatifScratch) reset() {
+	for _, i := range sc.changed {
+		sc.overlayOf[i] = 0
+		sc.srowOf[i] = 0
+	}
+	sc.changed = sc.changed[:0]
+	sc.used = 0
+	sc.srowUsed = 0
+}
+
+// Base returns the base-topology bound the engine was built from
+// (Result.Dist is not retained; use Bound for the full matrix).
+func (e *WhatIf) Base() Result { return e.base }
+
+// NewWhatIf builds the amortized base state: full-width distance rows
+// for every host (hosts × switches, uint8) and a completed sharded
+// auction whose prices seed every warm rematch. The base bound equals
+// a cold Bound with AuctionMatcher bit for bit.
+func NewWhatIf(t *topo.Topology, opt WhatIfOptions) (*WhatIf, error) {
+	hosts := t.Hosts()
+	n := len(hosts)
+	if n < 2 {
+		return nil, errors.New("tub: need at least 2 host switches")
+	}
+	g := t.Graph()
+	if err := graph.CheckDistMatrixSize(n, g.N()); err != nil {
+		return nil, err
+	}
+	o, sp := opt.Obs.Start("whatif.build", obs.Int("hosts", n), obs.Int("switches", g.N()))
+	defer sp.End()
+
+	e := &WhatIf{
+		t:     t,
+		g:     g,
+		hosts: hosts,
+		hpos:  hostPositions(g.N(), hosts),
+		nsw:   g.N(),
+		opt:   opt,
+	}
+	e.h = make([]int64, n)
+	e.uniform = true
+	for i, u := range hosts {
+		e.h[i] = int64(t.Servers(u))
+		if e.h[i] != e.h[0] {
+			e.uniform = false
+		}
+	}
+	e.minH = e.h[0]
+	frac := opt.MaxAffectedFrac
+	if frac <= 0 {
+		frac = DefaultMaxAffectedFrac
+	}
+	e.maxAff = int(frac * float64(g.N()))
+	if frac >= 1 {
+		e.maxAff = 0 // no fallback
+	} else if e.maxAff < 1 {
+		e.maxAff = 1
+	}
+
+	// Full-width rows: unlike Bound's host×host matrix, what-if repair
+	// needs distances to transit switches too — the repair cone grows
+	// through them.
+	_, dsp := o.Start("whatif.dist")
+	e.full = make([]uint8, n*e.nsw)
+	err := g.MultiBFSRows(hosts, opt.Workers, func(i int, dist []int32) error {
+		row := e.full[i*e.nsw : (i+1)*e.nsw]
+		for v, d := range dist {
+			if d < 0 {
+				return errors.New("tub: topology disconnected")
+			}
+			if d > graph.MaxUint8Dist {
+				return fmt.Errorf("tub: distance %d exceeds uint8 range [0,%d] (255 is the unreachable sentinel)", d, graph.MaxUint8Dist)
+			}
+			row[v] = uint8(d)
+		}
+		return nil
+	})
+	dsp.End()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		row := e.full[i*e.nsw:]
+		hi := e.h[i]
+		for j, u := range hosts {
+			w := hi
+			if e.h[j] < w {
+				w = e.h[j]
+			}
+			if raw := int64(row[u]) * w; raw > e.maxRaw {
+				e.maxRaw = raw
+			}
+		}
+	}
+
+	// Pre-scaled base weight matrix: the warm rematch bids directly
+	// against borrowed rows of it for every host whose distances
+	// survived the removal — no per-bid materialization, no scale pass.
+	if int64(n)*int64(n)*8 <= maxScaledMatrixBytes {
+		e.wmat = make([]int64, n*n)
+		scale := int64(n + 1)
+		fill := e.rowAt(nil)
+		workers := clampPool(opt.Workers, n)
+		var wg sync.WaitGroup
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				for i := wk; i < n; i += workers {
+					row := e.wmat[i*n : (i+1)*n]
+					fill(i, row)
+					for j := range row {
+						row[j] *= scale
+					}
+				}
+			}(wk)
+		}
+		wg.Wait()
+	}
+
+	_, msp := o.Start("whatif.match")
+	res, stats := match.AuctionSharded(n, e.weightAt(nil), match.AuctionOptions{
+		Workers: opt.Workers,
+		Row:     e.rowAt(nil),
+	})
+	msp.End(obs.Int64("weighted_len", res.Total))
+	if res.Total <= 0 {
+		return nil, errors.New("tub: degenerate maximal permutation (zero total path length)")
+	}
+	e.prices = stats.Prices
+	e.base = Result{
+		Bound:       float64(2*t.Links()) / float64(res.Total),
+		Perm:        res.Col,
+		WeightedLen: res.Total,
+		TwoE:        2 * t.Links(),
+	}
+	e.pool.New = func() interface{} {
+		return &whatifScratch{overlayOf: make([]int32, n), srowOf: make([]int32, n)}
+	}
+	return e, nil
+}
+
+// hostRow returns host i's distance row under the query's overlays
+// (the base row when untouched).
+func (e *WhatIf) hostRow(sc *whatifScratch, i int) []uint8 {
+	if sc != nil {
+		if k := sc.overlayOf[i]; k > 0 {
+			return sc.overlays[k-1]
+		}
+	}
+	return e.full[i*e.nsw : (i+1)*e.nsw]
+}
+
+// weightAt builds the matcher weight callback over the (possibly
+// overlaid) rows: w(i, j) = min(H_i, H_j) · L_ij.
+func (e *WhatIf) weightAt(sc *whatifScratch) match.WeightFunc {
+	return func(i, j int) int64 {
+		w := e.h[i]
+		if e.h[j] < w {
+			w = e.h[j]
+		}
+		return int64(e.hostRow(sc, i)[e.hosts[j]]) * w
+	}
+}
+
+// scaledRowAt is the warm rematch's zero-copy bid path: changed hosts
+// get their scaled weight row computed once per query and cached in the
+// scratch; unchanged hosts borrow the precomputed base matrix row (or a
+// reused buffer when the matrix exceeded its budget). Serial use only —
+// the returned slice for the no-wmat unchanged case is a single shared
+// buffer — which matches the Workers: 1 warm rematch.
+func (e *WhatIf) scaledRowAt(sc *whatifScratch) func(i int) []int64 {
+	n := len(e.hosts)
+	scale := int64(n + 1)
+	fill := e.rowAt(sc)
+	return func(i int) []int64 {
+		if sc.overlayOf[i] > 0 {
+			if k := sc.srowOf[i]; k > 0 {
+				return sc.srows[k-1]
+			}
+			var buf []int64
+			if sc.srowUsed < len(sc.srows) {
+				buf = sc.srows[sc.srowUsed]
+			} else {
+				buf = make([]int64, n)
+				sc.srows = append(sc.srows, buf)
+			}
+			sc.srowUsed++
+			fill(i, buf)
+			for j := range buf {
+				buf[j] *= scale
+			}
+			sc.srowOf[i] = int32(sc.srowUsed)
+			return buf
+		}
+		if e.wmat != nil {
+			return e.wmat[i*n : (i+1)*n]
+		}
+		if sc.srowTmp == nil {
+			sc.srowTmp = make([]int64, n)
+		}
+		fill(i, sc.srowTmp)
+		for j := range sc.srowTmp {
+			sc.srowTmp[j] *= scale
+		}
+		return sc.srowTmp
+	}
+}
+
+// rowAt is the row-filler fast path over the same view.
+func (e *WhatIf) rowAt(sc *whatifScratch) func(i int, out []int64) {
+	return func(i int, out []int64) {
+		row := e.hostRow(sc, i)
+		if e.uniform {
+			hv := e.minH
+			for j, u := range e.hosts {
+				out[j] = int64(row[u]) * hv
+			}
+			return
+		}
+		hi := e.h[i]
+		for j, u := range e.hosts {
+			w := hi
+			if e.h[j] < w {
+				w = e.h[j]
+			}
+			out[j] = int64(row[u]) * w
+		}
+	}
+}
+
+func (e *WhatIf) getScratch() *whatifScratch {
+	return e.pool.Get().(*whatifScratch)
+}
+
+func (e *WhatIf) putScratch(sc *whatifScratch) {
+	sc.reset()
+	e.pool.Put(sc)
+}
+
+// overlay copies host i's base row into a reusable buffer and registers
+// it as the query view of that host.
+func (sc *whatifScratch) overlay(e *WhatIf, i int) []uint8 {
+	var buf []uint8
+	if sc.used < len(sc.overlays) {
+		buf = sc.overlays[sc.used]
+	} else {
+		buf = make([]uint8, e.nsw)
+		sc.overlays = append(sc.overlays, buf)
+	}
+	sc.used++
+	copy(buf, e.full[i*e.nsw:(i+1)*e.nsw])
+	sc.overlayOf[i] = int32(sc.used)
+	sc.changed = append(sc.changed, i)
+	return buf
+}
+
+// observe records one finished query in the engine's metrics.
+func (e *WhatIf) observe(mode string, start time.Time, frontier int) {
+	if !e.opt.Obs.Enabled() {
+		return
+	}
+	e.opt.Obs.Histogram("whatif.query").Observe(time.Since(start))
+	if frontier > 0 {
+		e.opt.Obs.Histogram("whatif.frontier").ObserveNs(int64(frontier))
+	}
+	e.opt.Obs.Counter("whatif." + mode).Add(1)
+}
+
+// QueryLink answers "what is TUB with one (u, v) link removed?". The
+// result is exact: Bound equals a cold tub.Bound on
+// t.RemoveLink(u, v) with an exact matcher, or Bound 0 with
+// Disconnected set when the removal separates host pairs.
+func (e *WhatIf) QueryLink(u, v int) (*QueryResult, error) {
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	return e.queryLink(u, v, sc)
+}
+
+func (e *WhatIf) queryLink(u, v int, sc *whatifScratch) (*QueryResult, error) {
+	start := time.Now()
+	c := e.g.Capacity(u, v)
+	if c == 0 {
+		return nil, fmt.Errorf("tub: no (%d,%d) link to remove", u, v)
+	}
+	q := &QueryResult{TwoE: e.base.TwoE - 2}
+	if c > 1 {
+		// A parallel link survives: hop distances ignore multiplicity, so
+		// the permutation and denominator are untouched — only 2E drops.
+		q.Mode = "trunk"
+		q.WeightedLen = e.base.WeightedLen
+		q.Bound = float64(q.TwoE) / float64(q.WeightedLen)
+		e.observe(q.Mode, start, 0)
+		return q, nil
+	}
+
+	for i := range e.hosts {
+		base := e.full[i*e.nsw : (i+1)*e.nsw]
+		if !e.g.EdgeRepairNeeded(base, u, v) {
+			continue
+		}
+		row := sc.overlay(e, i)
+		st, err := e.g.RepairRowEdge(e.hosts[i], row, u, v, e.maxAff, &sc.arena)
+		if err != nil {
+			return nil, err
+		}
+		e.noteRepair(q, sc, i, base, row, st)
+	}
+	return e.finish(q, sc, start)
+}
+
+// QuerySwitch answers "what is TUB with switch w (and its links)
+// removed?". For a transit switch the warm rematch applies; removing a
+// host switch changes the matching dimension, so the permutation is
+// re-solved cold over the surviving hosts (still on repaired rows —
+// the distance sweep, the dominant cost, stays incremental). Removing
+// one of only two host switches returns an error: TUB needs a pair.
+func (e *WhatIf) QuerySwitch(w int) (*QueryResult, error) {
+	if w < 0 || w >= e.nsw {
+		return nil, fmt.Errorf("tub: invalid switch %d", w)
+	}
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	start := time.Now()
+	wHost := e.hpos[w] >= 0
+	if wHost && len(e.hosts) <= 2 {
+		return nil, errors.New("tub: removing the switch leaves fewer than 2 host switches")
+	}
+	q := &QueryResult{TwoE: e.base.TwoE - 2*e.g.Degree(w)}
+
+	for i := range e.hosts {
+		if e.hosts[i] == w {
+			continue
+		}
+		base := e.full[i*e.nsw : (i+1)*e.nsw]
+		if !e.g.SwitchRepairNeeded(base, w) {
+			continue
+		}
+		row := sc.overlay(e, i)
+		st, err := e.g.RepairRowSwitch(e.hosts[i], row, w, e.maxAff, &sc.arena)
+		if err != nil {
+			return nil, err
+		}
+		e.noteRepair(q, sc, i, base, row, st)
+	}
+
+	if !wHost {
+		return e.finish(q, sc, start)
+	}
+
+	// Host switch: drop w from the matching and solve the reduced
+	// instance cold (the auction's prices are duals of the wrong
+	// dimension). Distances still come from the repaired overlays.
+	wi := int(e.hpos[w])
+	if disc := e.disconnectedPair(q, sc, wi); disc {
+		q.Mode = "disconnected"
+		q.Disconnected = true
+		q.Bound, q.WeightedLen = 0, 0
+		e.observe(q.Mode, start, q.Frontier)
+		return q, nil
+	}
+	keep := make([]int, 0, len(e.hosts)-1)
+	for i := range e.hosts {
+		if i != wi {
+			keep = append(keep, i)
+		}
+	}
+	m := len(keep)
+	weight := func(i, j int) int64 {
+		ki, kj := keep[i], keep[j]
+		hw := e.h[ki]
+		if e.h[kj] < hw {
+			hw = e.h[kj]
+		}
+		return int64(e.hostRow(sc, ki)[e.hosts[kj]]) * hw
+	}
+	row := func(i int, out []int64) {
+		ki := keep[i]
+		r := e.hostRow(sc, ki)
+		hi := e.h[ki]
+		for j, kj := range keep {
+			hw := hi
+			if e.h[kj] < hw {
+				hw = e.h[kj]
+			}
+			out[j] = int64(r[e.hosts[kj]]) * hw
+		}
+	}
+	res, _ := match.AuctionSharded(m, weight, match.AuctionOptions{Workers: e.opt.Workers, Row: row})
+	if res.Total <= 0 {
+		return nil, errors.New("tub: degenerate maximal permutation after switch removal")
+	}
+	q.Mode = "switch-host"
+	q.WeightedLen = res.Total
+	q.Bound = float64(q.TwoE) / float64(q.WeightedLen)
+	e.observe(q.Mode, start, q.Frontier)
+	return q, nil
+}
+
+// noteRepair folds one repaired row into the query accumulators.
+func (e *WhatIf) noteRepair(q *QueryResult, sc *whatifScratch, i int, base, row []uint8, st graph.RepairStats) {
+	q.ChangedRows++
+	if st.Affected > q.Frontier {
+		q.Frontier = st.Affected
+	}
+	if st.Recomputed {
+		q.RecomputedRows++
+	}
+	for _, u := range e.hosts {
+		if base[u] != row[u] {
+			q.ChangedPairs++
+		}
+	}
+	if st.Disconnected {
+		q.Disconnected = true
+	}
+}
+
+// disconnectedPair reports whether any surviving host pair is
+// unreachable under the overlays (skipHost < 0 checks all hosts).
+func (e *WhatIf) disconnectedPair(q *QueryResult, sc *whatifScratch, skipHost int) bool {
+	if !q.Disconnected {
+		return false
+	}
+	for _, i := range sc.changed {
+		if i == skipHost {
+			continue
+		}
+		row := e.hostRow(sc, i)
+		for j, u := range e.hosts {
+			if j == skipHost {
+				continue
+			}
+			if row[u] == graph.UnreachableDist {
+				return true
+			}
+		}
+	}
+	// Sentinels existed but only on transit switches (or the removed
+	// host): every surviving host pair still connects.
+	q.Disconnected = false
+	return false
+}
+
+// finish resolves a link-removal (or transit-switch) query after row
+// repair: disconnection short-circuit, unchanged fast path, or warm
+// rematch from the retained prices.
+func (e *WhatIf) finish(q *QueryResult, sc *whatifScratch, start time.Time) (*QueryResult, error) {
+	if e.disconnectedPair(q, sc, -1) {
+		q.Mode = "disconnected"
+		q.Disconnected = true
+		q.Bound, q.WeightedLen = 0, 0
+		e.observe(q.Mode, start, q.Frontier)
+		return q, nil
+	}
+	if q.ChangedPairs == 0 {
+		// Distances between hosts are intact (changed rows, if any, only
+		// touched transit entries): the base permutation stands.
+		if q.Mode == "" {
+			q.Mode = "unchanged"
+		}
+		q.WeightedLen = e.base.WeightedLen
+		q.Bound = float64(q.TwoE) / float64(q.WeightedLen)
+		e.observe(q.Mode, start, q.Frontier)
+		return q, nil
+	}
+
+	// Warm rematch: free exactly the hosts whose rows changed. The
+	// max-weight hint folds the changed rows' new weights into the
+	// base maximum; distances only stay equal or grow under removal,
+	// but a disconnect-then-reroute can shrink entries too, so scan.
+	maxRaw := e.maxRaw
+	for _, i := range sc.changed {
+		row := e.hostRow(sc, i)
+		hi := e.h[i]
+		for j, u := range e.hosts {
+			w := hi
+			if e.h[j] < w {
+				w = e.h[j]
+			}
+			if raw := int64(row[u]) * w; raw > maxRaw {
+				maxRaw = raw
+			}
+		}
+	}
+	res, st := match.AuctionResume(len(e.hosts), e.weightAt(sc), match.AuctionWarmStart{
+		Prices: e.prices,
+		Col:    e.base.Perm,
+	}, sc.changed, match.AuctionResumeOptions{
+		Workers:   1, // queries parallelize across the sweep, not within
+		Row:       e.rowAt(sc),
+		ScaledRow: e.scaledRowAt(sc),
+		MaxWeight: maxRaw,
+		MaxRounds: defaultResumeRoundsPerHost * len(e.hosts),
+	})
+	if res.Total <= 0 {
+		return nil, errors.New("tub: degenerate maximal permutation after removal")
+	}
+	q.Mode = "warm"
+	if st.FellBack {
+		q.Mode = "coldmatch"
+	}
+	q.WeightedLen = res.Total
+	q.Bound = float64(q.TwoE) / float64(q.WeightedLen)
+	e.observe(q.Mode, start, q.Frontier)
+	return q, nil
+}
+
+// SweepOptions configures SweepLinks.
+type SweepOptions struct {
+	// Workers bounds the query pool; <= 0 means GOMAXPROCS. The sweep
+	// result is identical for any worker count.
+	Workers int
+	// Sample keeps every Sample-th distinct link (<= 1 keeps all), a
+	// cheap deterministic subset for very large fabrics.
+	Sample int
+}
+
+// SweepLinks runs QueryLink over every distinct link bundle of the
+// base topology (optionally sampled) and returns one LinkImpact per
+// link in Edges enumeration order. Queries run on a worker pool with
+// per-worker scratch; results are deterministic and worker-independent.
+func (e *WhatIf) SweepLinks(opt SweepOptions) ([]LinkImpact, error) {
+	type linkID struct{ u, v, c int }
+	var links []linkID
+	k := 0
+	e.g.Edges(func(u, v, c int) {
+		if opt.Sample > 1 && k%opt.Sample != 0 {
+			k++
+			return
+		}
+		k++
+		links = append(links, linkID{u, v, c})
+	})
+	o, sp := e.opt.Obs.Start("whatif.sweep", obs.Int("links", len(links)))
+	defer sp.End()
+
+	out := make([]LinkImpact, len(links))
+	errs := make([]error, len(links))
+	workers := clampPool(opt.Workers, len(links))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := e.getScratch()
+			defer e.putScratch(sc)
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(links) {
+					return
+				}
+				l := links[j]
+				q, err := e.queryLink(l.u, l.v, sc)
+				if err != nil {
+					errs[j] = err
+					continue
+				}
+				out[j] = LinkImpact{U: l.u, V: l.v, Capacity: l.c, Drop: e.base.Bound - q.Bound, QueryResult: *q}
+				// Reset per-query scratch without returning it to the pool.
+				sc.reset()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	o.Point("whatif.sweep.done", obs.Int("links", len(links)))
+	return out, nil
+}
+
+// RankByDrop orders impacts by TUB drop, largest first (ties by link
+// id), without modifying the input — the critical-link ranking.
+func RankByDrop(impacts []LinkImpact) []LinkImpact {
+	out := append([]LinkImpact(nil), impacts...)
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Drop != out[b].Drop {
+			return out[a].Drop > out[b].Drop
+		}
+		if out[a].U != out[b].U {
+			return out[a].U < out[b].U
+		}
+		return out[a].V < out[b].V
+	})
+	return out
+}
+
+// clampPool resolves a worker count against a job count (<= 0 means
+// GOMAXPROCS).
+func clampPool(workers, jobs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}

@@ -1,0 +1,357 @@
+// Differential suite for the incremental what-if engine: every query
+// must be bit-identical to a cold recompute on the explicitly damaged
+// topology — same Bound, same WeightedLen, same TwoE — across topology
+// families and worker counts, including removals that disconnect.
+package tub
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+
+	"dctopo/internal/graph"
+	"dctopo/topo"
+)
+
+func whatifTopologies(t testing.TB) []*topo.Topology {
+	t.Helper()
+	jf, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 40, Radix: 6, Servers: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xp, err := topo.Xpander(topo.XpanderConfig{Switches: 36, Radix: 6, Servers: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := topo.Clos(topo.ClosConfig{Radix: 4, Layers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*topo.Topology{jf, xp, cl}
+}
+
+// coldQuery recomputes the query result from scratch on the derived
+// topology with the exact auction matcher — the ground truth for both
+// link and switch removal (pass v < 0 for switch removal of u).
+func coldQuery(t *testing.T, tp *topo.Topology, u, v int) (bound float64, weightedLen int64, twoE int, disconnected bool) {
+	t.Helper()
+	var dt *topo.Topology
+	var err error
+	if v >= 0 {
+		dt, err = tp.RemoveLink(u, v)
+	} else {
+		dt, _, err = tp.RemoveSwitch(u)
+	}
+	if errors.Is(err, topo.ErrRemovalDisconnects) {
+		return 0, 0, 0, true
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Bound(dt, Options{Matcher: AuctionMatcher})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Bound, r.WeightedLen, r.TwoE, false
+}
+
+// TestWhatIfLinkDifferential: every single-link removal, every family,
+// Workers ∈ {1, GOMAXPROCS} — the incremental bound must equal the cold
+// bound exactly (the integers behind it are identical, so the float64
+// division is bit-identical too).
+func TestWhatIfLinkDifferential(t *testing.T) {
+	for _, tp := range whatifTopologies(t) {
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			e, err := NewWhatIf(tp, WhatIfOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := Bound(tp, Options{Matcher: AuctionMatcher, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Base().Bound != base.Bound || e.Base().WeightedLen != base.WeightedLen {
+				t.Fatalf("%s workers=%d: engine base (%v, %d) != cold base (%v, %d)",
+					tp.Name(), workers, e.Base().Bound, e.Base().WeightedLen, base.Bound, base.WeightedLen)
+			}
+			tp.Graph().Edges(func(u, v, c int) {
+				q, err := e.QueryLink(u, v)
+				if err != nil {
+					t.Fatalf("%s workers=%d link (%d,%d): %v", tp.Name(), workers, u, v, err)
+				}
+				wantB, wantWL, wantE, wantDisc := coldQuery(t, tp, u, v)
+				if q.Disconnected != wantDisc {
+					t.Fatalf("%s workers=%d link (%d,%d): Disconnected = %v, cold says %v",
+						tp.Name(), workers, u, v, q.Disconnected, wantDisc)
+				}
+				if wantDisc {
+					if q.Bound != 0 {
+						t.Fatalf("%s link (%d,%d): disconnected bound %v, want 0", tp.Name(), u, v, q.Bound)
+					}
+					return
+				}
+				if q.Bound != wantB || q.WeightedLen != wantWL || q.TwoE != wantE {
+					t.Fatalf("%s workers=%d link (%d,%d) mode=%s: got (%v, %d, %d), cold (%v, %d, %d)",
+						tp.Name(), workers, u, v, q.Mode, q.Bound, q.WeightedLen, q.TwoE, wantB, wantWL, wantE)
+				}
+			})
+		}
+	}
+}
+
+// TestWhatIfSwitchDifferential: every single-switch removal against the
+// cold recompute, both transit (warm rematch) and host (reduced cold
+// matching) paths.
+func TestWhatIfSwitchDifferential(t *testing.T) {
+	for _, tp := range whatifTopologies(t) {
+		e, err := NewWhatIf(tp, WhatIfOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < tp.NumSwitches(); w++ {
+			q, err := e.QuerySwitch(w)
+			if err != nil {
+				t.Fatalf("%s switch %d: %v", tp.Name(), w, err)
+			}
+			wantB, wantWL, wantE, wantDisc := coldQuery(t, tp, w, -1)
+			if q.Disconnected != wantDisc {
+				t.Fatalf("%s switch %d: Disconnected = %v, cold says %v", tp.Name(), w, q.Disconnected, wantDisc)
+			}
+			if wantDisc {
+				continue
+			}
+			if q.Bound != wantB || q.WeightedLen != wantWL || q.TwoE != wantE {
+				t.Fatalf("%s switch %d mode=%s: got (%v, %d, %d), cold (%v, %d, %d)",
+					tp.Name(), w, q.Mode, q.Bound, q.WeightedLen, q.TwoE, wantB, wantWL, wantE)
+			}
+		}
+	}
+}
+
+// TestWhatIfForcedFallbacks drives the same differential with repair
+// and rematch fallbacks forced (damage threshold of one switch), so the
+// fallback paths get the same bit-identical guarantee.
+func TestWhatIfForcedFallbacks(t *testing.T) {
+	tp := whatifTopologies(t)[0]
+	e, err := NewWhatIf(tp, WhatIfOptions{MaxAffectedFrac: 1.0 / float64(tp.NumSwitches())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp.Graph().Edges(func(u, v, c int) {
+		q, err := e.QueryLink(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantB, _, _, wantDisc := coldQuery(t, tp, u, v)
+		if q.Disconnected != wantDisc {
+			t.Fatalf("link (%d,%d): Disconnected = %v, want %v", u, v, q.Disconnected, wantDisc)
+		}
+		if !wantDisc && q.Bound != wantB {
+			t.Fatalf("link (%d,%d) mode=%s: bound %v, cold %v", u, v, q.Mode, q.Bound, wantB)
+		}
+	})
+}
+
+// bridgeTopology: two K4 islands with one server per switch joined by a
+// single bridge link (3,4) — cutting it must read as disconnection.
+func bridgeTopology(t *testing.T) *topo.Topology {
+	t.Helper()
+	b := graph.NewBuilder(8)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(i+4, j+4)
+		}
+	}
+	b.AddEdge(3, 4)
+	tp, err := topo.New("bridged", b.Build(), []int{1, 1, 1, 1, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+// TestWhatIfBridgeRemoval is the satellite regression: removing a
+// bridge link must yield Disconnected with Bound 0 — never a finite
+// bound built from 255-capped "distances".
+func TestWhatIfBridgeRemoval(t *testing.T) {
+	tp := bridgeTopology(t)
+	e, err := NewWhatIf(tp, WhatIfOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.QueryLink(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Disconnected || q.Bound != 0 || q.Mode != "disconnected" {
+		t.Fatalf("bridge removal: %+v, want Disconnected bound 0", q)
+	}
+	if _, err := tp.RemoveLink(3, 4); !errors.Is(err, topo.ErrRemovalDisconnects) {
+		t.Fatalf("cold RemoveLink on the bridge: err = %v, want ErrRemovalDisconnects", err)
+	}
+	// A non-bridge removal on the same fabric stays connected and finite.
+	q, err = e.QueryLink(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Disconnected || q.Bound <= 0 {
+		t.Fatalf("non-bridge removal: %+v", q)
+	}
+}
+
+// TestWhatIfSweepDeterministic: the sweep must return identical
+// impacts for any worker count, drops must be non-negative, and the
+// ranking must be sorted by drop.
+func TestWhatIfSweepDeterministic(t *testing.T) {
+	tp := whatifTopologies(t)[0]
+	e, err := NewWhatIf(tp, WhatIfOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := e.SweepLinks(SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) == 0 {
+		t.Fatal("empty sweep")
+	}
+	got, err := e.SweepLinks(SweepOptions{Workers: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("sweep sizes differ: %d vs %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("impact %d differs across worker counts:\n  1: %+v\n  N: %+v", i, ref[i], got[i])
+		}
+		if !ref[i].Disconnected && ref[i].Drop < -1e-12 {
+			t.Fatalf("link (%d,%d): negative drop %v — removal cannot raise TUB", ref[i].U, ref[i].V, ref[i].Drop)
+		}
+	}
+	ranked := RankByDrop(ref)
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Drop > ranked[i-1].Drop {
+			t.Fatalf("ranking not sorted at %d: %v after %v", i, ranked[i].Drop, ranked[i-1].Drop)
+		}
+	}
+	// Sampling keeps every k-th link.
+	sampled, err := e.SweepLinks(SweepOptions{Sample: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (len(ref) + 2) / 3; len(sampled) != want {
+		t.Fatalf("sampled sweep has %d links, want %d", len(sampled), want)
+	}
+}
+
+// TestWhatIfTrunkFastPath: removing one parallel link must take the
+// trunk path — numerator-only change, matching untouched.
+func TestWhatIfTrunkFastPath(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdgeMult(0, 1, 2)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 0)
+	tp, err := topo.New("trunked-ring", b.Build(), []int{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewWhatIf(tp, WhatIfOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.QueryLink(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Mode != "trunk" || q.ChangedRows != 0 {
+		t.Fatalf("trunk removal: %+v, want trunk mode with no changed rows", q)
+	}
+	wantB, wantWL, _, _ := coldQuery(t, tp, 0, 1)
+	if q.Bound != wantB || q.WeightedLen != wantWL {
+		t.Fatalf("trunk removal: got (%v, %d), cold (%v, %d)", q.Bound, q.WeightedLen, wantB, wantWL)
+	}
+}
+
+// TestWhatIfQueryErrors pins the error surface.
+func TestWhatIfQueryErrors(t *testing.T) {
+	tp := whatifTopologies(t)[0]
+	e, err := NewWhatIf(tp, WhatIfOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.QueryLink(0, 0); err == nil {
+		t.Fatal("QueryLink on a non-link succeeded")
+	}
+	if _, err := e.QuerySwitch(-1); err == nil {
+		t.Fatal("QuerySwitch(-1) succeeded")
+	}
+	if _, err := e.QuerySwitch(tp.NumSwitches()); err == nil {
+		t.Fatal("QuerySwitch out of range succeeded")
+	}
+}
+
+// FuzzWhatIfEquivalence fuzzes the incremental-vs-cold equivalence over
+// generated Jellyfish instances and arbitrary removals. Wired into the
+// CI fuzz smoke step.
+func FuzzWhatIfEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint(0), false)
+	f.Add(uint64(3), uint(7), true)
+	f.Add(uint64(9), uint(40), false)
+	f.Fuzz(func(t *testing.T, seed uint64, pick uint, bySwitch bool) {
+		tp, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 16, Radix: 4, Servers: 2, Seed: seed%32 + 1})
+		if err != nil {
+			t.Skip()
+		}
+		e, err := NewWhatIf(tp, WhatIfOptions{})
+		if err != nil {
+			t.Skip()
+		}
+		var q *QueryResult
+		var wantB float64
+		var wantWL int64
+		var wantDisc bool
+		if bySwitch {
+			w := int(pick) % tp.NumSwitches()
+			q, err = e.QuerySwitch(w)
+			if err != nil {
+				t.Skip() // e.g. removing one of the last host pair
+			}
+			wantB, wantWL, _, wantDisc = coldFuzzQuery(t, tp, w, -1)
+		} else {
+			var links [][2]int
+			tp.Graph().Edges(func(u, v, c int) { links = append(links, [2]int{u, v}) })
+			l := links[int(pick)%len(links)]
+			q, err = e.QueryLink(l[0], l[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantB, wantWL, _, wantDisc = coldFuzzQuery(t, tp, l[0], l[1])
+		}
+		if q.Disconnected != wantDisc {
+			t.Fatalf("Disconnected = %v, cold says %v (%+v)", q.Disconnected, wantDisc, q)
+		}
+		if wantDisc {
+			if q.Bound != 0 {
+				t.Fatalf("disconnected bound %v, want 0", q.Bound)
+			}
+			return
+		}
+		if q.Bound != wantB || q.WeightedLen != wantWL {
+			t.Fatalf("mode=%s: got (%v, %d), cold (%v, %d)", q.Mode, q.Bound, q.WeightedLen, wantB, wantWL)
+		}
+		if !q.Disconnected && (math.IsNaN(q.Bound) || q.Bound <= 0) {
+			t.Fatalf("implausible bound %v", q.Bound)
+		}
+	})
+}
+
+// coldFuzzQuery is coldQuery for fuzz targets (t is a *testing.T there
+// too, so reuse directly).
+func coldFuzzQuery(t *testing.T, tp *topo.Topology, u, v int) (float64, int64, int, bool) {
+	return coldQuery(t, tp, u, v)
+}
