@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dctopo/internal/graph"
+	"dctopo/internal/match"
 
 	"dctopo/mcf"
 	"dctopo/topo"
@@ -222,6 +223,7 @@ func cmdBench(w io.Writer, args []string) error {
 	gkEps := fs.Float64("gk-eps", 0.03, "FPTAS epsilon for the gk case")
 	matchOut := fs.String("matching-o", "BENCH_matching.json", "matching output JSON path (- for stdout)")
 	matchSwitches := fs.Int("matching-switches", 1000, "Jellyfish switch count for the matching case")
+	matchKernelSizes := fs.String("matching-kernel-sizes", "8000,8200,20000", "comma-separated host counts for the auction kernel sub-case (empty to skip)")
 	whatifOut := fs.String("whatif-o", "BENCH_whatif.json", "whatif output JSON path (- for stdout)")
 	whatifSwitches := fs.Int("whatif-switches", 1000, "Jellyfish switch count for the whatif case")
 	whatifLinks := fs.Int("whatif-links", 64, "sampled link removals measured in the whatif case")
@@ -262,7 +264,7 @@ func cmdBench(w io.Writer, args []string) error {
 		case "gk":
 			err = benchGK(w, *gkSwitches, *radix, *servers, *gkDemands, *gkK, *gkEps, *gkOut)
 		case "matching":
-			err = benchMatching(w, *matchSwitches, *radix, *servers, *matchOut)
+			err = benchMatching(w, *matchSwitches, *radix, *servers, *matchKernelSizes, *matchOut)
 		case "whatif":
 			err = benchWhatIf(w, *whatifSwitches, *radix, *servers, *whatifLinks, *whatifOut)
 		case "":
@@ -465,10 +467,12 @@ func benchGK(w io.Writer, switches, radix, servers, demands, k int, eps float64,
 }
 
 // benchMatching measures the TUB bound under the sharded auction matcher
-// against the Jonker–Volgenant exact matcher on one Jellyfish instance
-// and writes the BENCH_matching.json document. Both matchers are exact:
-// the recorded WeightedLen values must agree.
-func benchMatching(w io.Writer, switches, radix, servers int, out string) error {
+// against the Jonker–Volgenant exact matcher on one Jellyfish instance,
+// then the bare auction kernels (callback-weight sharded vs matrix-free
+// blocked) on precomputed distance matrices at the kernelSizes host
+// counts, and writes the BENCH_matching.json document. All matchers are
+// exact: the recorded WeightedLen values must agree per instance.
+func benchMatching(w io.Writer, switches, radix, servers int, kernelSizes, out string) error {
 	t, err := topo.Jellyfish(topo.JellyfishConfig{Switches: switches, Radix: radix, Servers: servers, Seed: 1})
 	if err != nil {
 		return err
@@ -523,6 +527,81 @@ func benchMatching(w io.Writer, switches, radix, servers int, out string) error 
 		return fmt.Errorf("matchers disagree: auction weighted_len %d != exact %d", weighted[0], weighted[1])
 	}
 	rep.Speedup[fmt.Sprintf("switches=%d", switches)] = perMatcher[1] / perMatcher[0]
+
+	// Bare-kernel sub-case: the matrix-free blocked auction against the
+	// sharded auction on a precomputed uint8 distance matrix (uniform
+	// multipliers), with topology build and BFS outside the timer. The
+	// default sizes straddle the sharded kernel's 256 MiB materialization
+	// budget — at 8000 it bids off a flat int32 matrix, at 8200 it falls
+	// to per-bid row rematerialization (the cliff the blocked kernel
+	// removes). Past 10000 hosts the sharded baseline is too slow to keep
+	// in a CI budget, so only the blocked kernel is measured there.
+	type kernelCase struct {
+		name string
+		run  func() *match.Result
+	}
+	for _, tok := range strings.Split(kernelSizes, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		kh, err := strconv.Atoi(tok)
+		if err != nil || kh <= 0 {
+			return fmt.Errorf("bad -matching-kernel-sizes entry %q", tok)
+		}
+		kt, err := topo.Jellyfish(topo.JellyfishConfig{Switches: kh, Radix: radix, Servers: servers, Seed: 1})
+		if err != nil {
+			return err
+		}
+		dist, err := tub.HostDistances(kt)
+		if err != nil {
+			return err
+		}
+		n := len(dist)
+		kernels := []kernelCase{{"blocked", func() *match.Result {
+			res, _ := match.AuctionBlocked(n, match.U8Weights{Rows: func(i int) []uint8 { return dist[i] }}, match.AuctionOptions{})
+			return res
+		}}}
+		if n <= 10000 {
+			wf := func(i, j int) int64 { return int64(dist[i][j]) }
+			kernels = append(kernels, kernelCase{"sharded", func() *match.Result {
+				res, _ := match.AuctionSharded(n, wf, match.AuctionOptions{})
+				return res
+			}})
+		}
+		perKernel := map[string]float64{}
+		totals := map[string]int64{}
+		for _, k := range kernels {
+			var total int64
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					total = k.run().Total
+				}
+			})
+			nsOp := float64(r.NsPerOp())
+			perKernel[k.name] = nsOp
+			totals[k.name] = total
+			rep.Entries = append(rep.Entries, matchBenchEntry{
+				Name:        fmt.Sprintf("BenchmarkMatchKernel/hosts=%d/kernel=%s", n, k.name),
+				Switches:    kh,
+				Matcher:     k.name,
+				NsPerOp:     nsOp,
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+				WeightedLen: total,
+			})
+			fmt.Fprintf(os.Stderr, "matching kernel hosts=%d kernel=%s: %.2f ms/op, total=%d\n",
+				n, k.name, nsOp/1e6, total)
+		}
+		if s, ok := perKernel["sharded"]; ok {
+			if totals["sharded"] != totals["blocked"] {
+				return fmt.Errorf("kernels disagree at %d hosts: sharded total %d != blocked %d",
+					n, totals["sharded"], totals["blocked"])
+			}
+			rep.Speedup[fmt.Sprintf("hosts=%d", n)] = s / perKernel["blocked"]
+		}
+	}
 
 	return writeBenchJSON(w, out, &rep, len(rep.Entries))
 }

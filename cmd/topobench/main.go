@@ -461,8 +461,12 @@ func cmdTub(w io.Writer, args []string) error {
 	tf.register(fs)
 	rf.register(fs)
 	matcher := fs.String("matcher", "auto", "auto | exact | auction | greedy")
+	auctionMax := fs.Int("auction-max", 0, "auto matcher auction→greedy crossover in hosts (0 = built-in default)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *auctionMax < 0 {
+		return fmt.Errorf("-auction-max must be >= 0, got %d", *auctionMax)
 	}
 	o, done, err := rf.observe()
 	if err != nil {
@@ -492,12 +496,12 @@ func cmdTub(w io.Writer, args []string) error {
 		return fmt.Errorf("unknown matcher %q", *matcher)
 	}
 	start := time.Now()
-	res, err := tub.Bound(t, tub.Options{Matcher: m, Obs: o})
+	res, err := tub.Bound(t, tub.Options{Matcher: m, AuctionMax: *auctionMax, Obs: o})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%s\nTUB = %.6f   (2E=%d, sum min(H)·L = %d, %v)\n",
-		t, res.Bound, res.TwoE, res.WeightedLen, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(w, "%s\nTUB = %.6f   (2E=%d, sum min(H)·L = %d, matcher=%s, %v)\n",
+		t, res.Bound, res.TwoE, res.WeightedLen, res.Matcher, time.Since(start).Round(time.Millisecond))
 	if res.Bound >= 1 {
 		fmt.Fprintln(w, "verdict: may have full throughput (bound >= 1)")
 	} else {

@@ -36,6 +36,28 @@ func TestCmdTubMatchers(t *testing.T) {
 	}
 }
 
+// TestCmdTubAuctionMax: -auction-max moves the auto crossover (and the
+// matcher actually used is reported), negative values fail fast.
+func TestCmdTubAuctionMax(t *testing.T) {
+	// 80 host switches: past the exact cutoff, so the crossover between
+	// auction and greedy is what -auction-max moves.
+	base := []string{"-family", "jellyfish", "-switches", "80", "-radix", "6", "-servers", "1"}
+	var buf bytes.Buffer
+	if err := cmdTub(&buf, append(base, "-auction-max", "70")); err != nil {
+		t.Fatalf("tub -auction-max 70: %v", err)
+	}
+	if !strings.Contains(buf.String(), "matcher=greedy") {
+		t.Errorf("80 hosts over a crossover of 70 should degrade to greedy:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := cmdTub(&buf, base); err != nil {
+		t.Fatalf("tub default: %v", err)
+	}
+	if !strings.Contains(buf.String(), "matcher=auction") {
+		t.Errorf("80 hosts under the default crossover should use the auction:\n%s", buf.String())
+	}
+}
+
 func TestCmdMetrics(t *testing.T) {
 	args := []string{"-family", "jellyfish", "-switches", "20", "-radix", "8", "-servers", "3", "-k", "4"}
 	if err := cmdMetrics(io.Discard, args); err != nil {
@@ -210,6 +232,7 @@ func TestFlagValidation(t *testing.T) {
 		{"mcf eps>=1", func() error { return cmdMCF(io.Discard, []string{"-eps", "1.5"}) }, "-eps"},
 		{"gen switches=0", func() error { return cmdGen(io.Discard, []string{"-switches", "0"}) }, "-switches"},
 		{"tub radix=0", func() error { return cmdTub(io.Discard, []string{"-radix", "0"}) }, "-radix"},
+		{"tub auction-max<0", func() error { return cmdTub(io.Discard, []string{"-auction-max", "-5"}) }, "-auction-max"},
 		{"mcf servers<0", func() error { return cmdMCF(io.Discard, []string{"-servers", "-1"}) }, "-servers"},
 		{"design radix=0", func() error { return cmdDesign(io.Discard, []string{"-radix", "0"}) }, "-radix"},
 		{"bench ksp-k=0", func() error { return cmdBench(io.Discard, []string{"-ksp-k", "0"}) }, "-ksp-k"},

@@ -59,6 +59,17 @@ type AuctionResumeOptions struct {
 	// Takes precedence over Row inside the bidding loop; Row (or the
 	// plain WeightFunc) still serves the cold-fallback path.
 	ScaledRow func(i int) []int64
+	// U8, when non-nil, supplies the weights as uint8 distance rows plus
+	// per-row multipliers (see U8Weights): the 1-CS prefilter and every
+	// bid then compute scaled weights in-register from the uint8 rows —
+	// the matrix-free path AuctionBlocked uses — instead of loading
+	// int64 rows. Takes precedence over ScaledRow and Row inside the
+	// bidding loop, and switches the round-cap fallback to
+	// AuctionBlocked. The weights U8 describes must agree with w (w
+	// still computes the Total and serves as documentation of the
+	// matrix); on equal weights the resumed run is bit-identical to the
+	// ScaledRow path's.
+	U8 *U8Weights
 	// MaxWeight is an upper bound on the raw (unscaled) weights after the
 	// change; <= 0 means scan all rows, which costs the O(n²) the resume
 	// path exists to avoid. An over-estimate is fine; an under-estimate
@@ -115,6 +126,13 @@ func AuctionResume(n int, w WeightFunc, warm AuctionWarmStart, changed []int, op
 		}
 	}
 
+	// Matrix-free path: bids and the prefilter scan uint8 rows directly.
+	var bd *u8Bidder
+	if opt.U8 != nil {
+		bd = new(u8Bidder)
+		bd.init(n, *opt.U8, nil, nil)
+	}
+
 	price := append([]int64(nil), warm.Prices...)
 	assign := append([]int(nil), warm.Col...)
 	owner := make([]int, n)
@@ -147,12 +165,20 @@ func AuctionResume(n int, w WeightFunc, warm AuctionWarmStart, changed []int, op
 	// its own re-bid but the whole bump cascade it would trigger, which
 	// is where lightly-damaged instances spend their time.
 	var csBuf []int64
-	if opt.ScaledRow == nil {
+	if bd == nil && opt.ScaledRow == nil {
 		csBuf = make([]int64, n)
 	}
 	st := ResumeStats{}
 	violators := free[:0]
 	for _, i := range free {
+		if bd != nil {
+			if bd.csCheck(i, assign[i], price) {
+				st.Pruned++
+			} else {
+				violators = append(violators, i)
+			}
+			continue
+		}
 		row := csBuf
 		if opt.ScaledRow != nil {
 			row = opt.ScaledRow(i)
@@ -179,7 +205,9 @@ func AuctionResume(n int, w WeightFunc, warm AuctionWarmStart, changed []int, op
 	}
 
 	maxW := opt.MaxWeight * scale
-	if opt.MaxWeight <= 0 {
+	if opt.MaxWeight <= 0 && bd != nil {
+		maxW = u8MaxRaw(n, *opt.U8, workers) * scale
+	} else if opt.MaxWeight <= 0 {
 		// No hint: pay the sharded scan the cold path does.
 		maxes := make([]int64, workers)
 		var wg sync.WaitGroup
@@ -217,7 +245,7 @@ func AuctionResume(n int, w WeightFunc, warm AuctionWarmStart, changed []int, op
 	}
 	touched := make([]int, 0, auctionBlock)
 	rowBufs := make([][]int64, workers)
-	if opt.ScaledRow == nil {
+	if bd == nil && opt.ScaledRow == nil {
 		for s := range rowBufs {
 			rowBufs[s] = make([]int64, n)
 		}
@@ -261,7 +289,13 @@ func AuctionResume(n int, w WeightFunc, warm AuctionWarmStart, changed []int, op
 			// Warm prices aren't converging; the cold auction's ε schedule
 			// handles heavy damage better. Deterministic: depends only on
 			// the round count, which is worker-independent.
-			res, cold := AuctionSharded(n, w, AuctionOptions{Workers: opt.Workers, Row: opt.Row})
+			var res *Result
+			var cold AuctionStats
+			if opt.U8 != nil {
+				res, cold = AuctionBlocked(n, *opt.U8, AuctionOptions{Workers: opt.Workers})
+			} else {
+				res, cold = AuctionSharded(n, w, AuctionOptions{Workers: opt.Workers, Row: opt.Row})
+			}
 			st.FellBack = true
 			st.Rounds += cold.Rounds
 			st.Bids += cold.Bids
@@ -275,7 +309,17 @@ func AuctionResume(n int, w WeightFunc, warm AuctionWarmStart, changed []int, op
 		blk := free[head : head+b]
 		st.Rounds++
 		st.Bids += b
-		if workers <= 1 || b < 64 {
+		if bd != nil {
+			bd.scan(blk, price)
+			for bi, i := range blk {
+				bestV, secondV := bd.topV[bi], bd.topS[bi]
+				if secondV < bestV-maxW {
+					secondV = bestV
+				}
+				bidObj[i] = bd.topJ[bi]
+				bidAmt[i] = bestV - secondV + 1 // ε = 1
+			}
+		} else if workers <= 1 || b < 64 {
 			bid(rowBufs[0], blk)
 		} else {
 			var wg sync.WaitGroup

@@ -116,6 +116,101 @@ func TestAuctionResumeScaledRow(t *testing.T) {
 	}
 }
 
+// perturbU8Rows is perturbRows for uint8 distance matrices.
+func perturbU8Rows(m [][]uint8, rows []int, maxD int, seed uint64) [][]uint8 {
+	r := rng.New(seed)
+	out := make([][]uint8, len(m))
+	for i := range m {
+		out[i] = append([]uint8(nil), m[i]...)
+	}
+	for _, i := range rows {
+		for j := range out[i] {
+			out[i][j] = uint8(r.Intn(maxD + 1))
+		}
+	}
+	return out
+}
+
+// TestAuctionResumeU8: the matrix-free resume path (uint8 rows, weights
+// computed in-register) must reproduce the ScaledRow path bit for bit —
+// same matching, same work, same final prices — for both uniform and
+// non-uniform multipliers, and its total must equal JV. This is the
+// warm-rematch leg of the blocked kernel's bit-identity discipline.
+func TestAuctionResumeU8(t *testing.T) {
+	n := 120
+	for _, h := range [][]int64{nil, randomH(n, 77)} {
+		base := u8Matrix(n, 9, 3)
+		w := u8Fn(base, h)
+		warmRes, warmStats := AuctionSharded(n, w, AuctionOptions{})
+		pert := perturbU8Rows(base, []int{5, 17, 80}, 9, 4)
+		pw := u8Fn(pert, h)
+		warm := AuctionWarmStart{Prices: warmStats.Prices, Col: warmRes.Col}
+		changed := []int{5, 17, 80}
+		scaled := make([][]int64, n)
+		for i := range scaled {
+			scaled[i] = make([]int64, n)
+			for j := range scaled[i] {
+				scaled[i][j] = pw(i, j) * int64(n+1)
+			}
+		}
+		ref, refStats := AuctionResume(n, pw, warm, changed, AuctionResumeOptions{
+			Workers:   1,
+			ScaledRow: func(i int) []int64 { return scaled[i] },
+			MaxWeight: 9 * 4,
+		})
+		res, st := AuctionResume(n, pw, warm, changed, AuctionResumeOptions{
+			Workers:   1,
+			U8:        &U8Weights{Rows: u8Rows(pert), H: h},
+			MaxWeight: 9 * 4,
+		})
+		if res.Total != ref.Total {
+			t.Fatalf("uniform=%v: U8 total %d != %d", h == nil, res.Total, ref.Total)
+		}
+		for i := range res.Col {
+			if res.Col[i] != ref.Col[i] {
+				t.Fatalf("uniform=%v: U8 Col[%d] = %d != %d", h == nil, i, res.Col[i], ref.Col[i])
+			}
+		}
+		if st.Rounds != refStats.Rounds || st.Bids != refStats.Bids || st.Freed != refStats.Freed || st.Pruned != refStats.Pruned {
+			t.Fatalf("uniform=%v: U8 work %+v != scaled-row %+v", h == nil, st, refStats)
+		}
+		for j, p := range st.Prices {
+			if p != refStats.Prices[j] {
+				t.Fatalf("uniform=%v: U8 price[%d]=%d != %d", h == nil, j, p, refStats.Prices[j])
+			}
+		}
+		if want := Exact(n, pw).Total; res.Total != want {
+			t.Fatalf("uniform=%v: U8 total %d != JV %d", h == nil, res.Total, want)
+		}
+	}
+}
+
+// TestAuctionResumeU8Fallback: the round-cap fallback on the U8 path
+// runs AuctionBlocked and must still be exact.
+func TestAuctionResumeU8Fallback(t *testing.T) {
+	n := 40
+	base := u8Matrix(n, 12, 11)
+	w := u8Fn(base, nil)
+	warmRes, warmStats := AuctionSharded(n, w, AuctionOptions{})
+	changed := make([]int, n)
+	for i := range changed {
+		changed[i] = i
+	}
+	pert := perturbU8Rows(base, changed, 12, 12)
+	pw := u8Fn(pert, nil)
+	res, st := AuctionResume(n, pw, AuctionWarmStart{Prices: warmStats.Prices, Col: warmRes.Col}, changed, AuctionResumeOptions{
+		U8:        &U8Weights{Rows: u8Rows(pert)},
+		MaxWeight: 12,
+		MaxRounds: 1,
+	})
+	if !st.FellBack {
+		t.Fatalf("MaxRounds=1 with every row changed did not fall back: %+v", st)
+	}
+	if want := Exact(n, pw).Total; res.Total != want {
+		t.Fatalf("U8 fallback total %d, exact %d", res.Total, want)
+	}
+}
+
 // TestAuctionResumeNoChanges: an empty change set returns the warm
 // matching unchanged with zero bidding work.
 func TestAuctionResumeNoChanges(t *testing.T) {

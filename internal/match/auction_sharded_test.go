@@ -138,32 +138,42 @@ func TestAuctionShardedZeroWeights(t *testing.T) {
 	}
 }
 
-// FuzzMatching cross-checks the sharded auction against Jonker–Volgenant
-// on fuzzer-chosen integer matrices: duplicate-heavy weights, tiny and
-// odd sizes, and both worker extremes. Any Total mismatch is a bug —
-// both algorithms are exact.
+// FuzzMatching cross-checks the sharded and blocked auctions against
+// Jonker–Volgenant on fuzzer-chosen integer matrices: duplicate-heavy
+// weights, tiny and odd sizes, uniform and non-uniform multipliers,
+// and both worker extremes. Any Total mismatch is a bug — all three
+// algorithms are exact — and the blocked kernel must additionally
+// reproduce the sharded run bit for bit.
 func FuzzMatching(f *testing.F) {
 	f.Add(uint64(1), uint8(5), uint8(6), uint8(1))
 	f.Add(uint64(2), uint8(1), uint8(0), uint8(4))
 	f.Add(uint64(3), uint8(13), uint8(2), uint8(2))
 	f.Fuzz(func(t *testing.T, seed uint64, nRaw, maxWRaw, workersRaw uint8) {
 		n := 1 + int(nRaw)%24
-		maxW := int(maxWRaw) % 16 // small range → many duplicate weights
+		maxD := int(maxWRaw) % 16 // small range → many duplicate weights
 		workers := 1 + int(workersRaw)%4
 		r := rng.New(seed)
-		m := make([][]int64, n)
-		for i := range m {
-			m[i] = make([]int64, n)
-			for j := range m[i] {
-				m[i][j] = int64(r.Intn(maxW + 1))
+		d := make([][]uint8, n)
+		for i := range d {
+			d[i] = make([]uint8, n)
+			for j := range d[i] {
+				d[i][j] = uint8(r.Intn(maxD + 1))
 			}
 		}
-		want := Exact(n, fn(m)).Total
-		res, _ := AuctionSharded(n, fn(m), AuctionOptions{Workers: workers})
-		checkPerfect(t, n, fn(m), res)
-		if res.Total != want {
-			t.Fatalf("n=%d maxW=%d workers=%d seed=%d: sharded auction total %d != JV %d",
-				n, maxW, workers, seed, res.Total, want)
+		var h []int64
+		if seed%2 == 1 {
+			h = randomH(n, seed+31)
 		}
+		w := u8Fn(d, h)
+		want := Exact(n, w).Total
+		res, stats := AuctionSharded(n, w, AuctionOptions{Workers: workers})
+		checkPerfect(t, n, w, res)
+		if res.Total != want {
+			t.Fatalf("n=%d maxD=%d workers=%d seed=%d: sharded auction total %d != JV %d",
+				n, maxD, workers, seed, res.Total, want)
+		}
+		blk, blkStats := AuctionBlocked(n, U8Weights{Rows: u8Rows(d), H: h}, AuctionOptions{Workers: workers})
+		checkPerfect(t, n, w, blk)
+		requireSameRun(t, "fuzz blocked", n, blk, res, blkStats, stats)
 	})
 }

@@ -64,11 +64,16 @@ func TestScale20kSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// TUB at 20k hosts: a 400 MB uint8 distance matrix plus the greedy
-	// matcher (AutoMatcher crosses over past autoAuctionMax).
+	// TUB at 20k hosts: a 400 MB uint8 distance matrix plus the exact
+	// auction matcher — the matrix-free blocked kernel keeps AutoMatcher
+	// on the auction all the way to the default crossover, so this stage
+	// now certifies the true optimal matching, not a greedy heuristic.
 	res, err := tub.Bound(top, tub.Options{Obs: so})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if res.Matcher != tub.AuctionMatcher {
+		t.Fatalf("20k matcher = %v, want the exact auction", res.Matcher)
 	}
 	// With only 4 servers on radix-32 switches the fabric is
 	// underloaded, so the (unclamped) bound may legitimately exceed 1.

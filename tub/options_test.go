@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"dctopo/obs"
 	"dctopo/topo"
 )
 
@@ -23,10 +24,78 @@ func TestBoundRejectsInvalidMatcher(t *testing.T) {
 			t.Fatalf("matcher %d: unexpected error %v", m, err)
 		}
 	}
-	// All valid matchers still work.
+	// All valid matchers still work, and the result records which ran.
 	for _, m := range []Matcher{AutoMatcher, ExactMatcher, AuctionMatcher, GreedyMatcher} {
-		if _, err := Bound(top, Options{Matcher: m}); err != nil {
+		res, err := Bound(top, Options{Matcher: m})
+		if err != nil {
 			t.Fatalf("matcher %d: %v", m, err)
 		}
+		want := m
+		if m == AutoMatcher {
+			want = ExactMatcher // 12 hosts ≤ autoExactMax
+		}
+		if res.Matcher != want {
+			t.Fatalf("matcher %d: Result.Matcher = %v, want %v", m, res.Matcher, want)
+		}
+	}
+}
+
+// TestBoundRejectsInvalidAuctionMax: a negative crossover fails fast.
+func TestBoundRejectsInvalidAuctionMax(t *testing.T) {
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 12, Radix: 6, Servers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Bound(top, Options{AuctionMax: -1})
+	if err == nil || !strings.Contains(err.Error(), "invalid AuctionMax") {
+		t.Fatalf("AuctionMax=-1: err = %v, want invalid AuctionMax", err)
+	}
+}
+
+// TestBoundAuctionMaxCrossover: AuctionMax moves the Auto auction→greedy
+// crossover, the fallback is counted and recorded in Result.Matcher, and
+// an explicit Matcher ignores AuctionMax entirely.
+func TestBoundAuctionMaxCrossover(t *testing.T) {
+	top, err := topo.Jellyfish(topo.JellyfishConfig{Switches: 80, Radix: 6, Servers: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+
+	// 80 hosts under the default crossover: Auto runs the exact auction.
+	res, err := Bound(top, Options{Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matcher != AuctionMatcher {
+		t.Fatalf("default crossover: Matcher = %v, want auction", res.Matcher)
+	}
+	if c := o.Counter("tub.match.fallback").Value(); c != 0 {
+		t.Fatalf("no degradation, but fallback counter = %d", c)
+	}
+
+	// A crossover below the host count degrades Auto to greedy — counted,
+	// never silent.
+	res, err = Bound(top, Options{AuctionMax: 70, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matcher != GreedyMatcher {
+		t.Fatalf("AuctionMax=70 with 80 hosts: Matcher = %v, want greedy", res.Matcher)
+	}
+	if c := o.Counter("tub.match.fallback").Value(); c != 1 {
+		t.Fatalf("fallback counter = %d, want 1", c)
+	}
+
+	// An explicit matcher is not a degradation and ignores AuctionMax.
+	res, err = Bound(top, Options{Matcher: AuctionMatcher, AuctionMax: 70, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matcher != AuctionMatcher {
+		t.Fatalf("explicit auction: Matcher = %v", res.Matcher)
+	}
+	if c := o.Counter("tub.match.fallback").Value(); c != 1 {
+		t.Fatalf("explicit matcher bumped the fallback counter to %d", c)
 	}
 }

@@ -54,17 +54,23 @@ const (
 	GreedyMatcher
 )
 
-// Auto matcher size thresholds (host switch counts). The sharded
-// auction beats Jonker–Volgenant at every size measured (279µs vs
-// 703µs at n=64, 5ms vs 31ms at n=256, 106ms vs 1.7s at n=1000 on
-// distance-derived weights) and both are exact, so Exact is kept only
-// for tiny instances where either finishes in microseconds. Beyond
-// autoAuctionMax the auction's materialized weight matrix no longer
-// fits cache-friendly memory (n=8000 takes ~19s vs ~260ms at n=2000)
-// and Auto falls back to the linear-time greedy heuristic.
+// Auto matcher size thresholds (host switch counts). The auction beats
+// Jonker–Volgenant at every size measured (279µs vs 703µs at n=64, 5ms
+// vs 31ms at n=256, 106ms vs 1.7s at n=1000 on distance-derived
+// weights) and both are exact, so Exact is kept only for tiny
+// instances where either finishes in microseconds. The matrix-free
+// blocked auction (match.AuctionBlocked) bids straight off the uint8
+// distance rows, so the old n≈6000 wall — the sharded kernel's
+// materialized int32 matrix blowing the 256MB budget and last-level
+// cache — is gone: n=20000 now solves exactly within the 20k smoke
+// budget (see BENCH_matching.json for the measured crossover data).
+// defaultAuctionMax sits at the largest size the smoke test exercises;
+// beyond it Auto degrades to the linear-time greedy heuristic — and
+// says so via the "tub.match.fallback" counter and span attribute.
+// Options.AuctionMax overrides the crossover.
 const (
-	autoExactMax   = 64
-	autoAuctionMax = 6000
+	autoExactMax      = 64
+	defaultAuctionMax = 20000
 )
 
 // String names the matcher (used in trace attributes and logs).
@@ -84,10 +90,11 @@ func (m Matcher) String() string {
 
 // Options configures Bound. The zero value (AutoMatcher) is the right
 // choice for almost all uses: it selects the matcher by host-switch
-// count n — ExactMatcher (Jonker–Volgenant, O(n³)) for n ≤ 384,
-// AuctionMatcher (ε-scaling auction, exact on the integer weights used
-// here but with much better constants) for n ≤ 6000, and GreedyMatcher
-// (the paper's Algorithm 1; a valid but possibly slightly looser bound)
+// count n — ExactMatcher (Jonker–Volgenant, O(n³)) for n ≤ 64,
+// AuctionMatcher (the matrix-free blocked ε-scaling auction, exact on
+// the integer weights used here but with much better constants) up to
+// the AuctionMax crossover (default 20000), and GreedyMatcher (the
+// paper's Algorithm 1; a valid but possibly slightly looser bound)
 // beyond. The crossovers are where the next-cheaper matcher starts
 // winning by wall clock on commodity hardware.
 //
@@ -99,10 +106,17 @@ type Options struct {
 	// Workers bounds the distance-sweep worker pool; <= 0 means
 	// GOMAXPROCS. The bound is identical for any worker count.
 	Workers int
+	// AuctionMax overrides AutoMatcher's auction→greedy crossover (a
+	// host-switch count): 0 means the default (20000), negative is an
+	// error. Raising it trades wall clock for an exact bound at larger
+	// scales; it has no effect when Matcher is explicit.
+	AuctionMax int
 	// Obs, when non-nil, records a "tub.bound" span with "tub.dist" and
 	// "tub.match" children; the match span's attributes name the matcher
 	// actually selected (after Auto resolution) so matcher crossovers are
-	// visible in traces. Instrumentation never changes the bound.
+	// visible in traces, and a greedy degradation adds a
+	// fallback="greedy" attribute plus a "tub.match.fallback" counter
+	// increment. Instrumentation never changes the bound.
 	Obs *obs.Obs
 }
 
@@ -123,6 +137,10 @@ type Result struct {
 	// Dist[i][j] is the switch-graph hop distance between hosts i and j
 	// (host indices).
 	Dist [][]uint8
+	// Matcher is the matcher that actually ran, after Auto resolution —
+	// callers can tell an exact bound from a greedy one without
+	// re-deriving the crossover.
+	Matcher Matcher
 }
 
 // Bound computes the throughput upper bound of Theorem 2.2 / Equation 18
@@ -130,6 +148,13 @@ type Result struct {
 func Bound(t *topo.Topology, opt Options) (*Result, error) {
 	if opt.Matcher < AutoMatcher || opt.Matcher > GreedyMatcher {
 		return nil, fmt.Errorf("tub: invalid matcher %d (want AutoMatcher, ExactMatcher, AuctionMatcher or GreedyMatcher)", opt.Matcher)
+	}
+	if opt.AuctionMax < 0 {
+		return nil, fmt.Errorf("tub: invalid AuctionMax %d (want 0 for the default crossover, or a positive host count)", opt.AuctionMax)
+	}
+	auctionMax := opt.AuctionMax
+	if auctionMax == 0 {
+		auctionMax = defaultAuctionMax
 	}
 	hosts := t.Hosts()
 	n := len(hosts)
@@ -170,56 +195,40 @@ func Bound(t *topo.Topology, opt Options) (*Result, error) {
 		switch {
 		case n <= autoExactMax:
 			m = ExactMatcher
-		case n <= autoAuctionMax:
+		case n <= auctionMax:
 			m = AuctionMatcher
 		default:
 			m = GreedyMatcher
 		}
 	}
-	mo, msp := to.Start("tub.match", obs.String("matcher", m.String()))
+	attrs := []obs.Attr{obs.String("matcher", m.String())}
+	if opt.Matcher == AutoMatcher && m == GreedyMatcher {
+		// Auto degraded past the auction crossover: the bound is still
+		// valid but no longer exact. Never silent — count it and tag the
+		// span so a greedy bound is visible in metrics and traces.
+		to.Counter("tub.match.fallback").Add(1)
+		attrs = append(attrs, obs.String("fallback", "greedy"))
+	}
+	mo, msp := to.Start("tub.match", attrs...)
 	var res *match.Result
 	switch m {
 	case ExactMatcher:
 		res = match.Exact(n, weight)
 		msp.End(obs.Int64("weighted_len", res.Total))
 	case AuctionMatcher:
-		// The sharded auction bids over materialized weight rows filled
-		// straight from the uint8 distance rows — the per-entry weight
-		// callback was the dominant cost of the Gauss-Seidel auction.
-		uniform := true
-		for _, hv := range h[1:] {
-			if hv != h[0] {
-				uniform = false
-				break
-			}
-		}
-		row := func(i int, out []int64) {
-			di := dist[i]
-			if uniform {
-				hv := h[0]
-				for j, d := range di {
-					out[j] = int64(d) * hv
-				}
-				return
-			}
-			hi := h[i]
-			for j, d := range di {
-				w := hi
-				if h[j] < w {
-					w = h[j]
-				}
-				out[j] = int64(d) * w
-			}
-		}
+		// The blocked auction bids straight off the uint8 distance rows —
+		// matrix-free, so no n×n weight materialization at any scale.
 		var stats match.AuctionStats
 		// Per-phase durations feed the "tub.match.phase" histogram: the
 		// ε-scaling phases run strictly in sequence, so the gap between
 		// successive OnPhase callbacks is one phase's wall-clock time.
 		ph := opt.Obs.Histogram("tub.match.phase")
 		phaseStart := time.Now()
-		res, stats = match.AuctionSharded(n, weight, match.AuctionOptions{
+		res, stats = match.AuctionBlocked(n, match.U8Weights{
+			Rows: func(i int) []uint8 { return dist[i] },
+			H:    h,
+		}, match.AuctionOptions{
 			Workers: opt.Workers,
-			Row:     row,
 			OnPhase: func(phase int, eps int64, rounds, bids int) {
 				now := time.Now()
 				ph.ObserveNs(int64(now.Sub(phaseStart)))
@@ -246,6 +255,7 @@ func Bound(t *topo.Topology, opt Options) (*Result, error) {
 		WeightedLen: res.Total,
 		TwoE:        2 * t.Links(),
 		Dist:        dist,
+		Matcher:     m,
 	}
 	if out.WeightedLen <= 0 {
 		return nil, errors.New("tub: degenerate maximal permutation (zero total path length)")

@@ -56,11 +56,6 @@ const DefaultMaxAffectedFrac = 0.25
 // falls back to a cold auction for that query.
 const defaultResumeRoundsPerHost = 16
 
-// maxScaledMatrixBytes caps the precomputed scaled weight matrix (the
-// warm rematch's zero-copy bid rows). Past it the engine computes rows
-// on demand per query — still exact, just slower bids.
-const maxScaledMatrixBytes = 256 << 20
-
 // WhatIfOptions configures NewWhatIf.
 type WhatIfOptions struct {
 	// Workers bounds the base-state sweep and single-query matcher
@@ -116,11 +111,9 @@ type WhatIf struct {
 	hosts  []int
 	hpos   []int32 // switch id -> host index, -1 transit
 	h      []int64 // servers per host
-	minH   int64   // uniform min-host weight (valid when uniform)
-	uniform bool
 	nsw    int
 	full   []uint8 // hosts × nsw base distance rows, flat
-	wmat   []int64 // hosts × hosts base weights × (hosts+1), nil past budget
+	hh     []uint8 // hosts × hosts base rows compacted to host columns
 	base   Result  // cold-equivalent base bound (Dist left nil)
 	prices []int64 // base auction prices (scaled domain)
 	maxRaw int64   // max raw weight over the base matrix
@@ -135,21 +128,22 @@ type whatifScratch struct {
 	used      int     // overlays handed out this query
 	overlayOf []int32 // host index -> overlay slot + 1, 0 = base row
 	changed   []int
-	srows     [][]int64 // scaled weight rows of changed hosts, cached lazily
-	srowUsed  int
-	srowOf    []int32 // host index -> srows slot + 1, 0 = not cached
-	srowTmp   []int64 // unchanged-row bid buffer when the engine has no wmat
+	crows     [][]uint8 // changed hosts' overlays compacted to host columns, cached lazily
+	crowUsed  int
+	crowOf    []int32 // host index -> crows slot + 1, 0 = not cached
+	red       []uint8 // reduced host×host matrix for switch-host queries
+	redH      []int64 // reduced multipliers, ditto
 }
 
 // reset clears the per-query state while keeping the buffers for reuse.
 func (sc *whatifScratch) reset() {
 	for _, i := range sc.changed {
 		sc.overlayOf[i] = 0
-		sc.srowOf[i] = 0
+		sc.crowOf[i] = 0
 	}
 	sc.changed = sc.changed[:0]
 	sc.used = 0
-	sc.srowUsed = 0
+	sc.crowUsed = 0
 }
 
 // Base returns the base-topology bound the engine was built from
@@ -182,14 +176,9 @@ func NewWhatIf(t *topo.Topology, opt WhatIfOptions) (*WhatIf, error) {
 		opt:   opt,
 	}
 	e.h = make([]int64, n)
-	e.uniform = true
 	for i, u := range hosts {
 		e.h[i] = int64(t.Servers(u))
-		if e.h[i] != e.h[0] {
-			e.uniform = false
-		}
 	}
-	e.minH = e.h[0]
 	frac := opt.MaxAffectedFrac
 	if frac <= 0 {
 		frac = DefaultMaxAffectedFrac
@@ -223,27 +212,13 @@ func NewWhatIf(t *topo.Topology, opt WhatIfOptions) (*WhatIf, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < n; i++ {
-		row := e.full[i*e.nsw:]
-		hi := e.h[i]
-		for j, u := range hosts {
-			w := hi
-			if e.h[j] < w {
-				w = e.h[j]
-			}
-			if raw := int64(row[u]) * w; raw > e.maxRaw {
-				e.maxRaw = raw
-			}
-		}
-	}
-
-	// Pre-scaled base weight matrix: the warm rematch bids directly
-	// against borrowed rows of it for every host whose distances
-	// survived the removal — no per-bid materialization, no scale pass.
-	if int64(n)*int64(n)*8 <= maxScaledMatrixBytes {
-		e.wmat = make([]int64, n*n)
-		scale := int64(n + 1)
-		fill := e.rowAt(nil)
+	// Host-compacted base matrix: every matcher touch point — the base
+	// auction, the warm rematch's bids and its 1-CS prefilter — scans
+	// these uint8 rows directly (match.U8Weights); the scaled weight is
+	// computed in-register, so there is no n×n int64 matrix to budget.
+	// One byte per pair: 400 MB at 20k hosts, same as Bound's Dist.
+	e.hh = make([]uint8, n*n)
+	{
 		workers := clampPool(opt.Workers, n)
 		var wg sync.WaitGroup
 		for wk := 0; wk < workers; wk++ {
@@ -251,21 +226,33 @@ func NewWhatIf(t *topo.Topology, opt WhatIfOptions) (*WhatIf, error) {
 			go func(wk int) {
 				defer wg.Done()
 				for i := wk; i < n; i += workers {
-					row := e.wmat[i*n : (i+1)*n]
-					fill(i, row)
-					for j := range row {
-						row[j] *= scale
+					row := e.full[i*e.nsw:]
+					out := e.hh[i*n : (i+1)*n]
+					for j, u := range hosts {
+						out[j] = row[u]
 					}
 				}
 			}(wk)
 		}
 		wg.Wait()
 	}
+	for i := 0; i < n; i++ {
+		row := e.hh[i*n : (i+1)*n]
+		hi := e.h[i]
+		for j, d := range row {
+			w := hi
+			if e.h[j] < w {
+				w = e.h[j]
+			}
+			if raw := int64(d) * w; raw > e.maxRaw {
+				e.maxRaw = raw
+			}
+		}
+	}
 
 	_, msp := o.Start("whatif.match")
-	res, stats := match.AuctionSharded(n, e.weightAt(nil), match.AuctionOptions{
+	res, stats := match.AuctionBlocked(n, e.u8At(nil), match.AuctionOptions{
 		Workers: opt.Workers,
-		Row:     e.rowAt(nil),
 	})
 	msp.End(obs.Int64("weighted_len", res.Total))
 	if res.Total <= 0 {
@@ -279,7 +266,7 @@ func NewWhatIf(t *topo.Topology, opt WhatIfOptions) (*WhatIf, error) {
 		TwoE:        2 * t.Links(),
 	}
 	e.pool.New = func() interface{} {
-		return &whatifScratch{overlayOf: make([]int32, n), srowOf: make([]int32, n)}
+		return &whatifScratch{overlayOf: make([]int32, n), crowOf: make([]int32, n)}
 	}
 	return e, nil
 }
@@ -307,70 +294,38 @@ func (e *WhatIf) weightAt(sc *whatifScratch) match.WeightFunc {
 	}
 }
 
-// scaledRowAt is the warm rematch's zero-copy bid path: changed hosts
-// get their scaled weight row computed once per query and cached in the
-// scratch; unchanged hosts borrow the precomputed base matrix row (or a
-// reused buffer when the matrix exceeded its budget). Serial use only —
-// the returned slice for the no-wmat unchanged case is a single shared
-// buffer — which matches the Workers: 1 warm rematch.
-func (e *WhatIf) scaledRowAt(sc *whatifScratch) func(i int) []int64 {
+// u8At builds the matrix-free matcher view over the (possibly
+// overlaid) rows: unchanged hosts borrow the precomputed hh row
+// directly; a changed host's full-width overlay is compacted onto host
+// columns once per query and cached in the scratch. The base engine
+// passes sc == nil (all hh rows — safe for concurrent calls, as the
+// blocked auction's max-weight scan requires); per-query views mutate
+// the scratch lazily and match the Workers: 1 warm rematch.
+func (e *WhatIf) u8At(sc *whatifScratch) match.U8Weights {
 	n := len(e.hosts)
-	scale := int64(n + 1)
-	fill := e.rowAt(sc)
-	return func(i int) []int64 {
-		if sc.overlayOf[i] > 0 {
-			if k := sc.srowOf[i]; k > 0 {
-				return sc.srows[k-1]
+	rows := func(i int) []uint8 {
+		if sc != nil && sc.overlayOf[i] > 0 {
+			if k := sc.crowOf[i]; k > 0 {
+				return sc.crows[k-1]
 			}
-			var buf []int64
-			if sc.srowUsed < len(sc.srows) {
-				buf = sc.srows[sc.srowUsed]
+			var buf []uint8
+			if sc.crowUsed < len(sc.crows) {
+				buf = sc.crows[sc.crowUsed]
 			} else {
-				buf = make([]int64, n)
-				sc.srows = append(sc.srows, buf)
+				buf = make([]uint8, n)
+				sc.crows = append(sc.crows, buf)
 			}
-			sc.srowUsed++
-			fill(i, buf)
-			for j := range buf {
-				buf[j] *= scale
+			sc.crowUsed++
+			full := sc.overlays[sc.overlayOf[i]-1]
+			for j, u := range e.hosts {
+				buf[j] = full[u]
 			}
-			sc.srowOf[i] = int32(sc.srowUsed)
+			sc.crowOf[i] = int32(sc.crowUsed)
 			return buf
 		}
-		if e.wmat != nil {
-			return e.wmat[i*n : (i+1)*n]
-		}
-		if sc.srowTmp == nil {
-			sc.srowTmp = make([]int64, n)
-		}
-		fill(i, sc.srowTmp)
-		for j := range sc.srowTmp {
-			sc.srowTmp[j] *= scale
-		}
-		return sc.srowTmp
+		return e.hh[i*n : (i+1)*n]
 	}
-}
-
-// rowAt is the row-filler fast path over the same view.
-func (e *WhatIf) rowAt(sc *whatifScratch) func(i int, out []int64) {
-	return func(i int, out []int64) {
-		row := e.hostRow(sc, i)
-		if e.uniform {
-			hv := e.minH
-			for j, u := range e.hosts {
-				out[j] = int64(row[u]) * hv
-			}
-			return
-		}
-		hi := e.h[i]
-		for j, u := range e.hosts {
-			w := hi
-			if e.h[j] < w {
-				w = e.h[j]
-			}
-			out[j] = int64(row[u]) * w
-		}
-	}
+	return match.U8Weights{Rows: rows, H: e.h}
 }
 
 func (e *WhatIf) getScratch() *whatifScratch {
@@ -509,28 +464,28 @@ func (e *WhatIf) QuerySwitch(w int) (*QueryResult, error) {
 			keep = append(keep, i)
 		}
 	}
+	// Reduced matrix-free instance: compact the surviving hosts' rows
+	// (overlaid where repaired) into a pooled m×m uint8 matrix and run
+	// the blocked auction on it. One byte per pair, reused across the
+	// engine's switch queries.
 	m := len(keep)
-	weight := func(i, j int) int64 {
-		ki, kj := keep[i], keep[j]
-		hw := e.h[ki]
-		if e.h[kj] < hw {
-			hw = e.h[kj]
-		}
-		return int64(e.hostRow(sc, ki)[e.hosts[kj]]) * hw
+	if cap(sc.red) < m*m {
+		sc.red = make([]uint8, m*m)
+		sc.redH = make([]int64, m)
 	}
-	row := func(i int, out []int64) {
-		ki := keep[i]
+	red, redH := sc.red[:m*m], sc.redH[:m]
+	for i, ki := range keep {
 		r := e.hostRow(sc, ki)
-		hi := e.h[ki]
+		out := red[i*m : (i+1)*m]
 		for j, kj := range keep {
-			hw := hi
-			if e.h[kj] < hw {
-				hw = e.h[kj]
-			}
-			out[j] = int64(r[e.hosts[kj]]) * hw
+			out[j] = r[e.hosts[kj]]
 		}
+		redH[i] = e.h[ki]
 	}
-	res, _ := match.AuctionSharded(m, weight, match.AuctionOptions{Workers: e.opt.Workers, Row: row})
+	res, _ := match.AuctionBlocked(m, match.U8Weights{
+		Rows: func(i int) []uint8 { return red[i*m : (i+1)*m] },
+		H:    redH,
+	}, match.AuctionOptions{Workers: e.opt.Workers})
 	if res.Total <= 0 {
 		return nil, errors.New("tub: degenerate maximal permutation after switch removal")
 	}
@@ -627,13 +582,13 @@ func (e *WhatIf) finish(q *QueryResult, sc *whatifScratch, start time.Time) (*Qu
 			}
 		}
 	}
+	u8 := e.u8At(sc)
 	res, st := match.AuctionResume(len(e.hosts), e.weightAt(sc), match.AuctionWarmStart{
 		Prices: e.prices,
 		Col:    e.base.Perm,
 	}, sc.changed, match.AuctionResumeOptions{
 		Workers:   1, // queries parallelize across the sweep, not within
-		Row:       e.rowAt(sc),
-		ScaledRow: e.scaledRowAt(sc),
+		U8:        &u8,
 		MaxWeight: maxRaw,
 		MaxRounds: defaultResumeRoundsPerHost * len(e.hosts),
 	})
