@@ -1,0 +1,72 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"dctopo/expt"
+)
+
+// cmdCache manages a result-store directory: list entries with sizes
+// and ages, remove one, or prune oldest-first down to a byte budget —
+// the operator's tools for the cache a long-running `topobench serve`
+// grows unboundedly.
+func cmdCache(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("cache", flag.ContinueOnError)
+	dir := fs.String("cache", "", "result-store directory (required)")
+	ls := fs.Bool("ls", false, "list entries, newest first, with a total")
+	rm := fs.String("rm", "", "remove the named entry (a NAME from -ls)")
+	prune := fs.Bool("prune", false, "remove oldest entries until the total fits -max-bytes")
+	maxBytes := fs.Int64("max-bytes", 0, "byte budget for -prune")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("cache needs -cache DIR")
+	}
+	s := expt.NewStore(*dir, nil)
+	switch {
+	case *rm != "":
+		if err := s.Remove(*rm); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "removed %s\n", *rm)
+		return nil
+	case *prune:
+		if *maxBytes <= 0 {
+			return fmt.Errorf("cache -prune needs -max-bytes > 0")
+		}
+		removed, err := s.Prune(*maxBytes)
+		if err != nil {
+			return err
+		}
+		var freed int64
+		for _, e := range removed {
+			freed += e.Bytes
+			fmt.Fprintf(w, "pruned %-40s %10d bytes\n", e.Name, e.Bytes)
+		}
+		size, err := s.Size()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "pruned %d entries, freed %d bytes; store now %d bytes\n",
+			len(removed), freed, size)
+		return nil
+	case *ls:
+		fallthrough
+	default:
+		entries, err := s.List()
+		if err != nil {
+			return err
+		}
+		var total int64
+		for _, e := range entries {
+			total += e.Bytes
+			fmt.Fprintf(w, "%-40s %-10s %10d bytes  %s\n",
+				e.Name, e.ID, e.Bytes, e.ModTime.UTC().Format("2006-01-02T15:04:05Z"))
+		}
+		fmt.Fprintf(w, "%d entries, %d bytes total in %s\n", len(entries), total, s.Dir())
+		return nil
+	}
+}

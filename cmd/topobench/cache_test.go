@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"dctopo/expt"
+)
+
+// TestCmdCache drives the cache subcommand end to end over a store
+// seeded through the public API: list, remove one entry, prune to a
+// byte budget.
+func TestCmdCache(t *testing.T) {
+	dir := t.TempDir()
+	s := expt.NewStore(dir, nil)
+	for i, id := range []string{"fig9", "fig9", "tab3"} {
+		params := []byte{'[', byte('0' + i), ']'}
+		if err := s.Put(id, params, bytes.Repeat([]byte("x"), 100*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := cmdCache(&buf, []string{"-cache", dir, "-ls"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "3 entries, 600 bytes total") {
+		t.Errorf("ls summary wrong:\n%s", out)
+	}
+	if strings.Count(out, "fig9-") != 2 || strings.Count(out, "tab3-") != 1 {
+		t.Errorf("ls ids wrong:\n%s", out)
+	}
+
+	// Remove the first listed entry by name.
+	name := strings.Fields(strings.SplitN(out, "\n", 2)[0])[0]
+	buf.Reset()
+	if err := cmdCache(&buf, []string{"-cache", dir, "-rm", name}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("%d entries after -rm, want 2", len(entries))
+	}
+
+	// Prune to 150 bytes: only the smallest-sum suffix of newest entries
+	// survives.
+	buf.Reset()
+	if err := cmdCache(&buf, []string{"-cache", dir, "-prune", "-max-bytes", "150"}); err != nil {
+		t.Fatal(err)
+	}
+	size, err := s.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size > 150 {
+		t.Errorf("store is %d bytes after -prune -max-bytes 150:\n%s", size, buf.String())
+	}
+	if !strings.Contains(buf.String(), "pruned") {
+		t.Errorf("prune reported nothing:\n%s", buf.String())
+	}
+
+	// Flag validation.
+	if err := cmdCache(io.Discard, nil); err == nil {
+		t.Error("cache without -cache should fail")
+	}
+	if err := cmdCache(io.Discard, []string{"-cache", dir, "-prune"}); err == nil {
+		t.Error("-prune without -max-bytes should fail")
+	}
+}

@@ -75,6 +75,10 @@ func main() {
 		err = cmdWhatIf(os.Stdout, os.Args[2:])
 	case "expt":
 		err = cmdExpt(os.Stdout, os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Stdout, os.Args[2:])
+	case "cache":
+		err = cmdCache(os.Stdout, os.Args[2:])
 	case "design":
 		err = cmdDesign(os.Stdout, os.Args[2:])
 	case "report":
@@ -107,8 +111,11 @@ commands:
   metrics  compute every capacity metric on one topology
   mcf      route the maximal permutation with KSP-MCF and report θ
   whatif   incremental failure analysis: -link u:v | -switch x | -all [-top N] [-sample N]
-  expt     run one paper experiment by id (-list for details, -json, -cache DIR):
+  expt     run one paper experiment by id (-list for details, -json, -params JSON, -cache DIR):
            %s
+  serve    run the analysis as a long-running HTTP service (-addr, -cache DIR,
+           -sync-deadline, -queue N, -executors N, -engines N, -drain DURATION)
+  cache    manage a result-store directory (-ls | -rm NAME | -prune -max-bytes N)
   design   size a full-throughput fabric and plan expansions (§5-§6 design aid)
   report   run the full experiment suite (-heavy, -only id,id, -cache DIR)
   bench    run the distance-kernel benchmarks and write BENCH_msbfs.json
@@ -226,6 +233,10 @@ type runFlags struct {
 	// commands — report -heavy and bench — so the recorder is always on
 	// when a run is expensive enough that losing its tail would hurt.
 	flightAuto bool
+	// flightRec is the recorder observe installed (nil when disabled);
+	// cmdServe hands it to the server for /debug/flight and the
+	// drain-overrun dump.
+	flightRec *obs.Flight
 }
 
 func (rf *runFlags) register(fs *flag.FlagSet) {
@@ -323,6 +334,7 @@ func (rf *runFlags) observe(extra ...obs.Sink) (*obs.Obs, func(), error) {
 	if rf.flightEnabled() {
 		fl = obs.NewFlight(rf.flightSize)
 		sinks = append(sinks, fl)
+		rf.flightRec = fl
 	}
 	if len(sinks) == 0 && rf.metrics == "" {
 		return nil, done, nil
@@ -391,15 +403,7 @@ func (tf *topoFlags) build(o *obs.Obs) (*topo.Topology, error) {
 	if err := tf.validate(); err != nil {
 		return nil, err
 	}
-	switch tf.family {
-	case "jellyfish", "xpander", "fatclique":
-		return expt.BuildObs(expt.Family(tf.family), tf.switches, tf.radix, tf.servers, tf.seed, o)
-	case "fattree":
-		return topo.FatTree(tf.radix)
-	case "clos":
-		return topo.Clos(topo.ClosConfig{Radix: tf.radix, Layers: 3})
-	}
-	return nil, fmt.Errorf("unknown family %q", tf.family)
+	return expt.BuildAny(tf.family, tf.switches, tf.radix, tf.servers, tf.seed, o)
 }
 
 func cmdGen(w io.Writer, args []string) error {
@@ -661,6 +665,7 @@ func cmdExpt(w io.Writer, args []string) error {
 	rf.register(fs)
 	list := fs.Bool("list", false, "list every registered experiment id and exit")
 	jsonOut := fs.Bool("json", false, "emit the deterministic JSON payload instead of rendered tables")
+	params := fs.String("params", "", "JSON params overriding the registered defaults (@FILE reads them from a file)")
 	cache := fs.String("cache", "", "persist/replay results in this directory (content-addressed by id+params)")
 	var id string
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
@@ -704,19 +709,26 @@ func cmdExpt(w io.Writer, args []string) error {
 		ropt.Store = expt.NewStore(*cache, o)
 		defer storeSummary(ropt.Store)
 	}
-	r, err := expt.RunStored(e, ropt)
+	var raw []byte
+	if *params != "" {
+		if strings.HasPrefix(*params, "@") {
+			raw, err = os.ReadFile((*params)[1:])
+			if err != nil {
+				return err
+			}
+		} else {
+			raw = []byte(*params)
+		}
+	}
+	ex, err := expt.Execute(e, raw, ropt)
 	if err != nil {
 		return err
 	}
 	if *jsonOut {
-		payload, err := expt.Payload(r)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%s\n", payload)
+		fmt.Fprintf(w, "%s\n", ex.Payload)
 		return nil
 	}
-	for _, t := range r.Tables() {
+	for _, t := range ex.Result.Tables() {
 		fmt.Fprintln(w, t.String())
 	}
 	return nil

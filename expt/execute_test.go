@@ -1,0 +1,145 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// TestResolveParamsOverlay: request fields overlay the registered
+// defaults; absent fields keep them; the registered default value is
+// never mutated by a request.
+func TestResolveParamsOverlay(t *testing.T) {
+	e, _ := Lookup("fig4")
+	before, _ := json.Marshal(e.Params)
+
+	p, defaulted, err := e.ResolveParams([]byte(`{"Radix": 99, "Switches": [7]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defaulted {
+		t.Error("overlaid params reported as defaulted")
+	}
+	got := p.(Fig4Params)
+	if got.Radix != 99 {
+		t.Errorf("Radix = %d, want overlaid 99", got.Radix)
+	}
+	if len(got.Switches) != 1 || got.Switches[0] != 7 {
+		t.Errorf("Switches = %v, want overlaid [7]", got.Switches)
+	}
+	def := e.Params.(Fig4Params)
+	if got.Servers != def.Servers || got.K != def.K || got.Seed != def.Seed {
+		t.Errorf("absent fields did not keep defaults: %+v vs default %+v", got, def)
+	}
+
+	after, _ := json.Marshal(e.Params)
+	if !bytes.Equal(before, after) {
+		t.Errorf("registered defaults mutated by a request:\n%s\nvs\n%s", before, after)
+	}
+
+	// Empty and explicit-null bodies resolve to the defaults.
+	for _, raw := range [][]byte{nil, []byte("null")} {
+		_, defaulted, err := e.ResolveParams(raw)
+		if err != nil || !defaulted {
+			t.Errorf("ResolveParams(%q): defaulted=%v err=%v, want true/nil", raw, defaulted, err)
+		}
+	}
+}
+
+// TestResolveParamsStrict: malformed bodies are ErrParams, so the HTTP
+// layer can map every user mistake to a 400.
+func TestResolveParamsStrict(t *testing.T) {
+	e, _ := Lookup("fig9")
+	for _, raw := range []string{
+		`{"NoSuchField": 1}`,
+		`{"Radix": "twelve"}`,
+		`{} trailing`,
+		`not json`,
+		`[1,2,3]`,
+	} {
+		if _, _, err := e.ResolveParams([]byte(raw)); !errors.Is(err, ErrParams) {
+			t.Errorf("ResolveParams(%s) = %v, want ErrParams", raw, err)
+		}
+	}
+}
+
+// TestCanonicalParamsKeyCompat pins the content addresses the Store
+// has been filing results under since the registry landed: a defaulted
+// run hashes the registered params value itself — "null" for the
+// parameterless experiments — so pre-service cache entries stay valid,
+// and an explicit request spelling out the defaults lands on the same
+// address as a defaulted one.
+func TestCanonicalParamsKeyCompat(t *testing.T) {
+	fig7, _ := Lookup("fig7")
+	_, pj, key, err := CanonicalParams(fig7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pj) != "null" {
+		t.Errorf("fig7 paramsJSON = %s, want null (historical address)", pj)
+	}
+	if key != StoreKey("fig7", []byte("null")) {
+		t.Error("fig7 key does not match the historical store address")
+	}
+
+	fig9, _ := Lookup("fig9")
+	defJSON, _ := json.Marshal(fig9.Params)
+	_, pj, keyDefault, err := CanonicalParams(fig9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pj, defJSON) {
+		t.Errorf("fig9 defaulted paramsJSON = %s, want %s", pj, defJSON)
+	}
+	// The same params spelled out explicitly → the same key.
+	_, _, keyExplicit, err := CanonicalParams(fig9, defJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyExplicit != keyDefault {
+		t.Errorf("explicit defaults key %s != defaulted key %s", keyExplicit, keyDefault)
+	}
+	// Different params → different key.
+	_, _, keyOther, err := CanonicalParams(fig9, []byte(`{"Seed": 777}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyOther == keyDefault {
+		t.Error("distinct params share a key")
+	}
+}
+
+// TestExecuteStoreRoundTrip: Execute is the one entry point expt,
+// report and serve share — first call computes and persists, second
+// call answers from the store with identical payload bytes.
+func TestExecuteStoreRoundTrip(t *testing.T) {
+	e, _ := Lookup("fig7")
+	s := NewStore(t.TempDir(), nil)
+	ex1, err := Execute(e, nil, RunOptions{Store: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex1.Cached {
+		t.Error("cold Execute reported cached")
+	}
+	if len(ex1.Payload) == 0 || ex1.Result == nil {
+		t.Fatal("cold Execute returned no payload/result")
+	}
+	ex2, err := Execute(e, nil, RunOptions{Store: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex2.Cached {
+		t.Error("warm Execute did not report cached")
+	}
+	if !bytes.Equal(ex1.Payload, ex2.Payload) {
+		t.Error("warm payload differs from cold payload")
+	}
+	if ex1.Key != ex2.Key || ex1.Key == "" {
+		t.Errorf("keys differ or empty: %q vs %q", ex1.Key, ex2.Key)
+	}
+	if _, err := Execute(e, []byte(`{"x":1}`), RunOptions{}); !errors.Is(err, ErrParams) {
+		t.Errorf("params for a parameterless experiment: %v, want ErrParams", err)
+	}
+}

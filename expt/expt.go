@@ -157,6 +157,24 @@ func BuildObs(f Family, switches, radix, servers int, seed uint64, o *obs.Obs) (
 	return nil, fmt.Errorf("expt: unknown family %q", f)
 }
 
+// BuildAny generates any named topology family, extending BuildObs with
+// the structured baselines: "fattree" (3-layer, sized by radix alone)
+// and "clos" (3-layer folded Clos, sized by radix alone). This is the
+// one resolver the CLI topology flags and the serve /v1/whatif endpoint
+// share, so a family name means the same thing over HTTP as on the
+// command line.
+func BuildAny(family string, switches, radix, servers int, seed uint64, o *obs.Obs) (*topo.Topology, error) {
+	switch family {
+	case string(FamilyJellyfish), string(FamilyXpander), string(FamilyFatClique):
+		return BuildObs(Family(family), switches, radix, servers, seed, o)
+	case "fattree":
+		return topo.FatTree(radix)
+	case "clos":
+		return topo.Clos(topo.ClosConfig{Radix: radix, Layers: 3})
+	}
+	return nil, fmt.Errorf("expt: unknown family %q", family)
+}
+
 // fatCliqueCutScore estimates a shape's balanced-bisection capacity per
 // switch (the binding level is the coarsest one that has to be split);
 // used to pick well-connected shapes among the many with a given size,

@@ -1,7 +1,9 @@
 package expt
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"dctopo/obs"
@@ -34,8 +36,8 @@ type RunOptions struct {
 	// drivers (the report passes one Memo to every step). When nil each
 	// driver uses a private memo, so intra-run reuse still happens.
 	Memo *Memo
-	// Store, when non-nil, persists results; used by RunStored, ignored
-	// by the drivers themselves.
+	// Store, when non-nil, persists results; used by Execute/RunStored,
+	// ignored by the drivers themselves.
 	Store *Store
 }
 
@@ -48,11 +50,17 @@ func (o RunOptions) memo(fallback *obs.Obs) *Memo {
 	return &Memo{Obs: fallback}
 }
 
+// ErrParams wraps every parameter-decoding failure out of ResolveParams
+// and Execute, so callers (the serve HTTP layer maps it to 400 Bad
+// Request) can tell a malformed request from an execution failure.
+var ErrParams = errors.New("invalid experiment params")
+
 // Experiment is one registered table or figure of the paper's
 // evaluation: an identifier, a human title, the default parameter value
 // (JSON-marshalable; nil for parameterless drivers), and the runner.
 type Experiment struct {
-	// ID is the registry key, as accepted by `topobench expt <id>`.
+	// ID is the registry key, as accepted by `topobench expt <id>` and
+	// POST /v1/experiments/{id}.
 	ID string
 	// Title is a one-line description for `topobench expt -list`.
 	Title string
@@ -65,6 +73,12 @@ type Experiment struct {
 	Params interface{}
 	// Run executes the experiment with the default parameters.
 	Run func(RunOptions) (Result, error)
+	// runWith executes the experiment with an explicit parameter value,
+	// which must be the concrete type ResolveParams returns.
+	runWith func(params interface{}, opt RunOptions) (Result, error)
+	// decodeParams strictly unmarshals a JSON document over a deep copy
+	// of the default params (nil raw returns the copied defaults).
+	decodeParams func(raw []byte) (interface{}, error)
 	// decode unmarshals a stored payload back into the concrete result
 	// type, so cached runs re-render without recomputation.
 	decode func([]byte) (Result, error)
@@ -72,6 +86,28 @@ type Experiment struct {
 
 // Decode rebuilds the concrete Result from a stored payload.
 func (e Experiment) Decode(payload []byte) (Result, error) { return e.decode(payload) }
+
+// ResolveParams turns a request's raw JSON params into the concrete
+// parameter value the experiment runs with. An empty (or "null") raw
+// document selects the registered defaults; anything else is decoded
+// strictly — unknown fields, type mismatches and trailing data are
+// ErrParams errors — over a deep copy of the defaults, so absent fields
+// keep their default values and the registered defaults are never
+// mutated. defaulted reports whether the defaults were used unmodified.
+func (e Experiment) ResolveParams(raw []byte) (params interface{}, defaulted bool, err error) {
+	raw = bytes.TrimSpace(raw)
+	if len(raw) == 0 || bytes.Equal(raw, []byte("null")) {
+		raw = nil
+	}
+	if e.decodeParams == nil {
+		return nil, false, fmt.Errorf("%w: %s: experiment has no params decoder", ErrParams, e.ID)
+	}
+	p, err := e.decodeParams(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	return p, raw == nil, nil
+}
 
 // Payload returns the deterministic JSON document for a result — what
 // `topobench expt -json` emits and the Store persists.
@@ -92,8 +128,85 @@ func decodeAs[T any](b []byte) (Result, error) {
 	return res, nil
 }
 
+// paramsAs builds the strict parameter decoder for P: a deep copy of
+// the default value (via its JSON round trip, so slices and pointers
+// are never shared with the registry) overlaid with the raw document
+// under DisallowUnknownFields.
+func paramsAs[P any](id string, def interface{}) func([]byte) (interface{}, error) {
+	return func(raw []byte) (interface{}, error) {
+		p := new(P)
+		if def != nil {
+			b, err := json.Marshal(def)
+			if err != nil {
+				return nil, fmt.Errorf("expt: %s: marshal default params: %w", id, err)
+			}
+			if err := json.Unmarshal(b, p); err != nil {
+				return nil, fmt.Errorf("expt: %s: copy default params: %w", id, err)
+			}
+		}
+		if len(raw) == 0 {
+			return *p, nil
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrParams, id, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("%w: %s: trailing data after params object", ErrParams, id)
+		}
+		return *p, nil
+	}
+}
+
+// asResult adapts a typed driver return to the Result interface.
+func asResult[T any](r *T, err error) (Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	res, ok := any(r).(Result)
+	if !ok {
+		return nil, fmt.Errorf("expt: %T does not implement Result", r)
+	}
+	return res, nil
+}
+
+// exp registers a parameterized driver: the default parameter value,
+// the typed run function, and (derived from them) the untyped runWith /
+// decodeParams / decode hooks Execute and the serve layer use. T is the
+// concrete result struct (named explicitly; P is inferred from def).
+func exp[T any, P any](id, title string, heavy bool, def P, run func(P, RunOptions) (*T, error)) Experiment {
+	return Experiment{
+		ID: id, Title: title, Heavy: heavy, Params: def,
+		Run: func(opt RunOptions) (Result, error) { return asResult(run(def, opt)) },
+		runWith: func(p interface{}, opt RunOptions) (Result, error) {
+			pp, ok := p.(P)
+			if !ok {
+				return nil, fmt.Errorf("expt: %s: params type %T, want %T", id, p, def)
+			}
+			return asResult(run(pp, opt))
+		},
+		decodeParams: paramsAs[P](id, def),
+		decode:       decodeAs[T],
+	}
+}
+
+// noParams is the parameter type of the parameterless drivers: an empty
+// object is the only valid non-default request document.
+type noParams struct{}
+
+// exp0 registers a parameterless driver (Params stays nil, preserving
+// the store addresses recorded before parameterized execution existed).
+func exp0[T any](id, title string, run func(RunOptions) (*T, error)) Experiment {
+	e := exp(id, title, false, noParams{}, func(_ noParams, opt RunOptions) (*T, error) {
+		return run(opt)
+	})
+	e.Params = nil
+	return e
+}
+
 // Compile-time checks that every registered concrete type satisfies
-// Result (decodeAs asserts only at runtime).
+// Result (asResult and decodeAs assert only at runtime).
 var _ = []Result{
 	(*Fig3Result)(nil), (*Fig3Set)(nil), (*Fig4Result)(nil),
 	(*Fig5Result)(nil), (*Fig5Set)(nil), (*Fig7Result)(nil),
@@ -109,115 +222,43 @@ var _ = []Result{
 // laptop-scale steps first (the order `topobench report` renders them),
 // then the Heavy paper-scale demonstrations. This list is the single
 // source of truth for cmd/topobench's expt and report subcommands, the
-// usage string, and Report itself.
+// serve HTTP API, the usage string, and Report itself.
 func Experiments() []Experiment {
 	return []Experiment{
-		{
-			ID: "fig7", Title: "Figure 7: 5-switch worked example (worst-case permutation)",
-			Run:    func(opt RunOptions) (Result, error) { return RunFig7(opt) },
-			decode: decodeAs[Fig7Result],
-		},
-		{
-			ID: "tabA1", Title: "Table A.1: TUB on Clos is always 1.00",
-			Run:    func(opt RunOptions) (Result, error) { return RunTableA1(opt) },
-			decode: decodeAs[TableA1Result],
-		},
-		{
-			ID: "tab3", Title: "Table 3: closed-form scaling limits vs full-BBW probes",
-			Params: DefaultTable3(),
-			Run:    func(opt RunOptions) (Result, error) { return RunTable3(DefaultTable3(), opt) },
-			decode: decodeAs[Table3Result],
-		},
-		{
-			ID: "fig3", Title: "Figure 3: throughput gap TUB - KSP-MCF per family",
-			Params: DefaultFig3Set(),
-			Run:    func(opt RunOptions) (Result, error) { return RunFig3Set(DefaultFig3Set(), opt) },
-			decode: decodeAs[Fig3Set],
-		},
-		{
-			ID: "fig4", Title: "Figure 4: path diversity vs throughput gap",
-			Params: DefaultFig4(),
-			Run:    func(opt RunOptions) (Result, error) { return RunFig4(DefaultFig4(), opt) },
-			decode: decodeAs[Fig4Result],
-		},
-		{
-			ID: "fig5", Title: "Figure 5: estimator accuracy and runtime (default + large)",
-			Params: DefaultFig5Set(),
-			Run:    func(opt RunOptions) (Result, error) { return RunFig5Set(DefaultFig5Set(), opt) },
-			decode: decodeAs[Fig5Set],
-		},
-		{
-			ID: "fig8", Title: "Figure 8: full-throughput vs full-BBW frontier per family",
-			Params: DefaultFig8Set(),
-			Run:    func(opt RunOptions) (Result, error) { return RunFig8Set(DefaultFig8Set(), opt) },
-			decode: decodeAs[Fig8Set],
-		},
-		{
-			ID: "fig9", Title: "Figure 9: switches to support N servers, BBW vs TUB vs Clos",
-			Params: DefaultFig9(),
-			Run:    func(opt RunOptions) (Result, error) { return RunFig9(DefaultFig9(), opt) },
-			decode: decodeAs[Fig9Result],
-		},
-		{
-			ID: "figA1", Title: "Figure A.1: theoretical throughput gap (Thm 2.2 vs Thm 8.4)",
-			Params: DefaultFigA1(),
-			Run:    func(opt RunOptions) (Result, error) { return RunFigA1(DefaultFigA1(), opt) },
-			decode: decodeAs[FigA1Result],
-		},
-		{
-			ID: "figA2", Title: "Figures A.2/A.3: same-equipment cost comparisons",
-			Params: DefaultFigA2(),
-			Run:    func(opt RunOptions) (Result, error) { return RunFigA2(DefaultFigA2(), opt) },
-			decode: decodeAs[FigA2Result],
-		},
-		{
-			ID: "figA4", Title: "Figure A.4: expansion by random rewiring at fixed H",
-			Params: DefaultFigA4(),
-			Run:    func(opt RunOptions) (Result, error) { return RunFigA4(DefaultFigA4(), opt) },
-			decode: decodeAs[FigA4Result],
-		},
-		{
-			ID: "figA5", Title: "Figure A.5: throughput gap vs path budget K",
-			Params: DefaultFigA5(),
-			Run:    func(opt RunOptions) (Result, error) { return RunFigA5(DefaultFigA5(), opt) },
-			decode: decodeAs[FigA5Result],
-		},
-		{
-			ID: "routing", Title: "Routing benchmark (§6 extension): ECMP/VLB vs KSP-MCF vs TUB",
-			Params: DefaultRouting(),
-			Run:    func(opt RunOptions) (Result, error) { return RunRouting(DefaultRouting(), opt) },
-			decode: decodeAs[RoutingResult],
-		},
-		{
-			ID: "ablation", Title: "Ablations: maximal-permutation matcher and MCF backend",
-			Params: DefaultAblation(),
-			Run:    func(opt RunOptions) (Result, error) { return RunAblation(DefaultAblation(), opt) },
-			decode: decodeAs[AblationResult],
-		},
-		{
-			ID: "whatif", Title: "What-if: incremental single-link failure sweep (ranking + CDF)",
-			Params: DefaultWhatIf(),
-			Run:    func(opt RunOptions) (Result, error) { return RunWhatIf(DefaultWhatIf(), opt) },
-			decode: decodeAs[WhatIfResult],
-		},
-		{
-			ID: "tab5", Title: "Table 5: over-subscription at N=32K, BBW-based vs throughput", Heavy: true,
-			Params: DefaultTable5(),
-			Run:    func(opt RunOptions) (Result, error) { return RunTable5(DefaultTable5(), opt) },
-			decode: decodeAs[Table5Result],
-		},
-		{
-			ID: "fig10", Title: "Figure 10: TUB under random link failures at N=32K", Heavy: true,
-			Params: DefaultFig10(),
-			Run:    func(opt RunOptions) (Result, error) { return RunFig10(DefaultFig10(), opt) },
-			decode: decodeAs[Fig10Result],
-		},
-		{
-			ID: "wedge", Title: "Figure 2 wedge: full BBW without full throughput at N=131K", Heavy: true,
-			Params: DefaultWedge(),
-			Run:    func(opt RunOptions) (Result, error) { return RunWedge(DefaultWedge(), opt) },
-			decode: decodeAs[WedgeResult],
-		},
+		exp0("fig7", "Figure 7: 5-switch worked example (worst-case permutation)", RunFig7),
+		exp0("tabA1", "Table A.1: TUB on Clos is always 1.00", RunTableA1),
+		exp("tab3", "Table 3: closed-form scaling limits vs full-BBW probes", false,
+			DefaultTable3(), RunTable3),
+		exp("fig3", "Figure 3: throughput gap TUB - KSP-MCF per family", false,
+			DefaultFig3Set(), RunFig3Set),
+		exp("fig4", "Figure 4: path diversity vs throughput gap", false,
+			DefaultFig4(), RunFig4),
+		exp("fig5", "Figure 5: estimator accuracy and runtime (default + large)", false,
+			DefaultFig5Set(), RunFig5Set),
+		exp("fig8", "Figure 8: full-throughput vs full-BBW frontier per family", false,
+			DefaultFig8Set(), RunFig8Set),
+		exp("fig9", "Figure 9: switches to support N servers, BBW vs TUB vs Clos", false,
+			DefaultFig9(), RunFig9),
+		exp("figA1", "Figure A.1: theoretical throughput gap (Thm 2.2 vs Thm 8.4)", false,
+			DefaultFigA1(), RunFigA1),
+		exp("figA2", "Figures A.2/A.3: same-equipment cost comparisons", false,
+			DefaultFigA2(), RunFigA2),
+		exp("figA4", "Figure A.4: expansion by random rewiring at fixed H", false,
+			DefaultFigA4(), RunFigA4),
+		exp("figA5", "Figure A.5: throughput gap vs path budget K", false,
+			DefaultFigA5(), RunFigA5),
+		exp("routing", "Routing benchmark (§6 extension): ECMP/VLB vs KSP-MCF vs TUB", false,
+			DefaultRouting(), RunRouting),
+		exp("ablation", "Ablations: maximal-permutation matcher and MCF backend", false,
+			DefaultAblation(), RunAblation),
+		exp("whatif", "What-if: incremental single-link failure sweep (ranking + CDF)", false,
+			DefaultWhatIf(), RunWhatIf),
+		exp("tab5", "Table 5: over-subscription at N=32K, BBW-based vs throughput", true,
+			DefaultTable5(), RunTable5),
+		exp("fig10", "Figure 10: TUB under random link failures at N=32K", true,
+			DefaultFig10(), RunFig10),
+		exp("wedge", "Figure 2 wedge: full BBW without full throughput at N=131K", true,
+			DefaultWedge(), RunWedge),
 	}
 }
 
@@ -241,27 +282,67 @@ func IDs() []string {
 	return ids
 }
 
-// RunStored runs the experiment through the Store in opt: a stored
-// payload for (id, default params, store version) is decoded and
-// returned without recomputation; otherwise the experiment runs and its
-// payload is persisted. A payload that fails to decode (truncated file,
-// older incompatible field set) is treated as a miss and recomputed.
-// With a nil Store this is exactly e.Run(opt).
-func RunStored(e Experiment, opt RunOptions) (Result, error) {
-	if opt.Store == nil {
-		return e.Run(opt)
-	}
-	params, err := json.Marshal(e.Params)
+// Executed is one Execute outcome: the resolved parameters (and their
+// canonical JSON, the content-address identity shared with the Store
+// and the serve job queue), the result, its deterministic payload, and
+// whether it was served from the Store without recomputation.
+type Executed struct {
+	// Params is the resolved concrete parameter value the run used.
+	Params interface{}
+	// ParamsJSON is its canonical JSON — what the Store hashes.
+	ParamsJSON []byte
+	// Key is the full content address, StoreKey(id, ParamsJSON).
+	Key string
+	// Result is the (possibly decoded-from-cache) result.
+	Result Result
+	// Payload is the deterministic JSON document of Result.
+	Payload []byte
+	// Cached reports the result was replayed from the Store.
+	Cached bool
+}
+
+// CanonicalParams resolves a raw request document to the concrete
+// parameter value plus its canonical JSON and full content address —
+// the identity Execute stores results under and the serve job queue
+// dedups by. Defaulted runs hash the registered default value itself,
+// so parameterless experiments keep their historical "null" address
+// (the resolved noParams{} would hash as "{}").
+func CanonicalParams(e Experiment, rawParams []byte) (params interface{}, paramsJSON []byte, key string, err error) {
+	p, defaulted, err := e.ResolveParams(rawParams)
 	if err != nil {
-		return nil, fmt.Errorf("expt: %s: marshal params: %w", e.ID, err)
+		return nil, nil, "", err
 	}
-	if payload, ok := opt.Store.Get(e.ID, params); ok {
+	hashed := p
+	if defaulted {
+		hashed = e.Params
+	}
+	pj, err := json.Marshal(hashed)
+	if err != nil {
+		return nil, nil, "", fmt.Errorf("expt: %s: marshal params: %w", e.ID, err)
+	}
+	return p, pj, StoreKey(e.ID, pj), nil
+}
+
+// Execute is the one experiment-execution entry point shared by the
+// CLI (`topobench expt`), Report, and the serve job queue: resolve the
+// raw JSON params against the registered defaults, answer from the
+// Store when a payload for (id, params) exists, otherwise run the
+// driver and persist the payload. rawParams nil/empty runs the
+// defaults — with a nil Store that is exactly e.Run(opt).
+func Execute(e Experiment, rawParams []byte, opt RunOptions) (*Executed, error) {
+	p, pj, key, err := CanonicalParams(e, rawParams)
+	if err != nil {
+		return nil, err
+	}
+	ex := &Executed{Params: p, ParamsJSON: pj, Key: key}
+	if payload, ok := opt.Store.Get(e.ID, pj); ok {
 		if r, err := e.Decode(payload); err == nil {
-			return r, nil
+			ex.Result, ex.Payload, ex.Cached = r, payload, true
+			return ex, nil
 		}
 		// Corrupt or incompatible payload: fall through and recompute.
 	}
-	r, err := e.Run(opt)
+	r, err := e.runWith(p, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -269,8 +350,23 @@ func RunStored(e Experiment, opt RunOptions) (Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("expt: %s: marshal result: %w", e.ID, err)
 	}
-	if err := opt.Store.Put(e.ID, params, payload); err != nil {
+	if err := opt.Store.Put(e.ID, pj, payload); err != nil {
 		return nil, fmt.Errorf("expt: %s: store: %w", e.ID, err)
 	}
-	return r, nil
+	ex.Result, ex.Payload = r, payload
+	return ex, nil
+}
+
+// RunStored runs the experiment with its default parameters through
+// Execute: a stored payload for (id, default params, store version) is
+// decoded and returned without recomputation; otherwise the experiment
+// runs and its payload is persisted. A payload that fails to decode
+// (truncated file, older incompatible field set) is treated as a miss
+// and recomputed.
+func RunStored(e Experiment, opt RunOptions) (Result, error) {
+	ex, err := Execute(e, nil, opt)
+	if err != nil {
+		return nil, err
+	}
+	return ex.Result, nil
 }

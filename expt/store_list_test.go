@@ -1,0 +1,149 @@
+package expt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// seedStore fills a store with n entries for one id, backdating each
+// so List's newest-first order (and Prune's oldest-first victims) are
+// deterministic. Entry i is i hours old and i+1 bytes big.
+func seedStore(t *testing.T, s *Store, id string, n int) {
+	t.Helper()
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		params := []byte(`{"i":` + string(rune('0'+i)) + `}`)
+		if err := s.Put(id, params, []byte(strings.Repeat("x", i+1))); err != nil {
+			t.Fatal(err)
+		}
+		path := s.Path(id, params)
+		mt := now.Add(-time.Duration(i) * time.Hour)
+		if err := os.Chtimes(path, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStoreList(t *testing.T) {
+	s := NewStore(t.TempDir(), nil)
+	entries, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("empty store lists %d entries", len(entries))
+	}
+	seedStore(t, s, "fig9", 3)
+	// Dotfiles and temp files must not appear as entries.
+	for _, name := range []string{".keep", "fig9-deadbeef.json.tmp123"} {
+		if err := os.WriteFile(filepath.Join(s.Dir(), name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err = s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("List = %d entries, want 3", len(entries))
+	}
+	for i, e := range entries {
+		if e.ID != "fig9" {
+			t.Errorf("entry %d: ID = %q, want fig9", i, e.ID)
+		}
+		// Newest first: entry i was backdated i hours, so Bytes ascend
+		// with age — the newest (1 byte) leads.
+		if e.Bytes != int64(i+1) {
+			t.Errorf("entry %d: %d bytes, want %d (newest-first order broken)", i, e.Bytes, i+1)
+		}
+		if i > 0 && entries[i-1].ModTime.Before(e.ModTime) {
+			t.Errorf("entries %d,%d out of order", i-1, i)
+		}
+	}
+	size, err := s.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 1+2+3 {
+		t.Errorf("Size = %d, want 6", size)
+	}
+}
+
+func TestStoreRemove(t *testing.T) {
+	s := NewStore(t.TempDir(), nil)
+	seedStore(t, s, "fig9", 2)
+	entries, _ := s.List()
+	if err := s.Remove(entries[0].Name); err != nil {
+		t.Fatal(err)
+	}
+	if left, _ := s.List(); len(left) != 1 {
+		t.Fatalf("%d entries after Remove, want 1", len(left))
+	}
+	// Removing a missing entry is not an error (prune races are benign).
+	if err := s.Remove(entries[0].Name); err != nil {
+		t.Errorf("second Remove: %v", err)
+	}
+	// Path traversal is rejected, not resolved.
+	for _, bad := range []string{"../escape.json", "a/b.json"} {
+		if err := s.Remove(bad); err == nil {
+			t.Errorf("Remove(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestStorePrune(t *testing.T) {
+	s := NewStore(t.TempDir(), nil)
+	seedStore(t, s, "fig9", 4) // sizes 1,2,3,4; ages 0h,1h,2h,3h
+	// Budget 4 bytes: the two oldest (4 and 3 bytes) must go; the two
+	// newest (1+2 = 3 bytes) fit.
+	removed, err := s.Prune(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 {
+		t.Fatalf("pruned %d entries, want 2: %+v", len(removed), removed)
+	}
+	if removed[0].Bytes != 4 || removed[1].Bytes != 3 {
+		t.Errorf("pruned sizes %d,%d — want oldest-first 4,3", removed[0].Bytes, removed[1].Bytes)
+	}
+	size, _ := s.Size()
+	if size != 3 {
+		t.Errorf("Size = %d after prune, want 3", size)
+	}
+	// Already under budget: no-op.
+	removed, err = s.Prune(1 << 20)
+	if err != nil || len(removed) != 0 {
+		t.Errorf("prune under budget removed %d entries (%v)", len(removed), err)
+	}
+}
+
+// TestStoreConcurrentUse exercises the Store's documented concurrent
+// safety: parallel Put/Get/List/Size/Prune over the same directory must
+// be race-free (run under -race) and never corrupt an entry.
+func TestStoreConcurrentUse(t *testing.T) {
+	s := NewStore(t.TempDir(), nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			params := []byte{'[', byte('0' + g), ']'}
+			for i := 0; i < 20; i++ {
+				if err := s.Put("x", params, []byte("payload")); err != nil {
+					t.Errorf("Put: %v", err)
+				}
+				if b, ok := s.Get("x", params); ok && string(b) != "payload" {
+					t.Errorf("Get returned corrupt payload %q", b)
+				}
+				s.List()
+				s.Size()
+				s.Prune(1 << 20)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -142,21 +142,37 @@ func histStats(out map[string]float64, name string, s HistogramSnapshot) {
 // Snapshot returns the current value of every metric merged into one
 // map: counters and gauges under their own names, histograms as six
 // derived entries each (<name>.count, .sum_ms, .p50_ms, .p95_ms,
-// .p99_ms, .max_ms).
+// .p99_ms, .max_ms). The registry lock is held only while copying the
+// name→metric maps; counter loads and histogram quantile computation
+// happen outside it, so a scrape of a large registry (the serve
+// /metrics handler polls this) never stalls hot paths registering new
+// metrics.
 func (r *Registry) Snapshot() map[string]float64 {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make(map[string]float64, len(r.counters)+len(r.gauges)+len(histStatKeys)*len(r.hists))
+	counters := make(map[string]*Counter, len(r.counters))
 	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+	out := make(map[string]float64, len(counters)+len(gauges)+len(histStatKeys)*len(hists))
+	for name, c := range counters {
 		out[name] = float64(c.Value())
 	}
-	for name, g := range r.gauges {
+	for name, g := range gauges {
 		out[name] = g.Value()
 	}
-	for name, h := range r.hists {
+	for name, h := range hists {
 		histStats(out, name, h.Snapshot())
 	}
 	return out

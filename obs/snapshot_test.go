@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSnapshotConcurrentWithUpdates pins the /metrics contract: the
+// registry snapshot may be taken while counters, gauges and histograms
+// are being hammered from other goroutines (run under -race), and the
+// quantile computation happens outside the registry lock so scraping
+// never stalls the hot paths.
+func TestSnapshotConcurrentWithUpdates(t *testing.T) {
+	o := New()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Ops before the stop check: every goroutine records at
+			// least once even if stop closes before it is scheduled.
+			for i := 0; ; i++ {
+				o.Counter("c").Add(1)
+				o.Gauge("g").Set(float64(i))
+				o.Histogram("h").Observe(time.Duration(i) * time.Microsecond)
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		o.Registry().Snapshot()
+	}
+	close(stop)
+	wg.Wait()
+
+	snap := o.Registry().Snapshot()
+	if snap["c"] <= 0 {
+		t.Errorf("counter c = %v after updates", snap["c"])
+	}
+	if _, ok := snap["h.count"]; !ok {
+		t.Error("snapshot missing histogram h.count")
+	}
+	if snap["h.count"] <= 0 || snap["h.p50_ms"] < 0 {
+		t.Errorf("histogram fields wrong: count=%v p50=%v", snap["h.count"], snap["h.p50_ms"])
+	}
+	// A nil registry snapshots to an empty map, not a panic.
+	var nr *Registry
+	if s := nr.Snapshot(); len(s) != 0 {
+		t.Errorf("nil registry snapshot = %v", s)
+	}
+}
